@@ -1,0 +1,60 @@
+//! X1/X2 ablations in bench form: the trimmed ζ-hop BFS of Lemma 4.2
+//! against the untrimmed multi-source BFS it replaces.
+
+use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
+use congest::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpaths_bench::lane_case;
+use rpaths_core::short::hop_bfs::{hop_constrained_bfs, HopBfsConfig, Objective};
+use rpaths_core::Instance;
+
+fn bench_trimming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_trimming");
+    group.sample_size(10);
+    for &h in &[64usize, 128, 256] {
+        let case = lane_case(h, 4, 2);
+        let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
+        let zeta = 32usize;
+        let aux: Vec<u64> = (0..=inst.hops())
+            .map(|j| inst.suffix[j].finite().unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("trimmed", h), &h, |b, _| {
+            b.iter(|| {
+                let cfg = HopBfsConfig {
+                    zeta,
+                    objective: Objective::MaxIndex,
+                    delays: None,
+                    aux: &aux,
+                };
+                let mut net = Network::new(&case.graph);
+                let f = hop_constrained_bfs(&mut net, &inst, &cfg, "trim");
+                assert!(net.metrics().rounds() <= zeta as u64 + 2);
+                f.table.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("untrimmed", h), &h, |b, _| {
+            b.iter(|| {
+                let cfg = MultiBfsConfig {
+                    sources: inst.path.nodes().to_vec(),
+                    max_dist: zeta as u64,
+                    reverse: true,
+                    delays: None,
+                };
+                let mut net = Network::new(&case.graph);
+                let (d, _) = multi_source_bfs(
+                    &mut net,
+                    &cfg,
+                    |e| inst.in_g_minus_p(e),
+                    "plain",
+                    default_budget(inst.hops() + 1, zeta as u64) * 2,
+                )
+                .expect("quiesces");
+                d.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trimming);
+criterion_main!(benches);

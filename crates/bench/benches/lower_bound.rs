@@ -1,0 +1,32 @@
+//! Table 1, lower-bound row in bench form: the Lemma 6.9 reduction run
+//! end-to-end (construction + distributed 2-SiSP + decode), asserting
+//! correct decoding and the cut-bit floor every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpaths_lb::disjointness::run_reduction;
+use rpaths_lb::hard::random_inputs;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_reduction");
+    group.sample_size(10);
+    for &(k, d, p) in &[(2usize, 2usize, 2usize), (3, 2, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_d{d}_p{p}")),
+            &(k, d, p),
+            |b, &(k, d, p)| {
+                b.iter(|| {
+                    let (m, x) = random_inputs(k, 17);
+                    let y: Vec<bool> = m.iter().flatten().copied().collect();
+                    let out = run_reduction(k, d, p, &x, &y, 17);
+                    assert_eq!(out.disjoint, out.expected_disjoint);
+                    assert!(out.cut_bits >= out.bob_bits);
+                    out.rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1, rows 1–2 (wall-clock form): full Theorem 1 vs MR24 solves at
+//! increasing `n`. The authoritative round-count sweep is the `table1`
+//! binary; this bench tracks the simulation cost so regressions in the
+//! engine or the algorithms show up in CI-style runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpaths_bench::{bench_params, measure_mr24, measure_ours, random_case};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_rpaths");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let case = random_case(n, n / 4, 21 + n as u64);
+        let params = bench_params(n, 3);
+        group.bench_with_input(BenchmarkId::new("theorem1", n), &n, |b, _| {
+            b.iter(|| {
+                let row = measure_ours(&case, &params);
+                assert!(row.correct);
+                row.rounds
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mr24", n), &n, |b, _| {
+            b.iter(|| {
+                let row = measure_mr24(&case, &params);
+                assert!(row.correct);
+                row.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

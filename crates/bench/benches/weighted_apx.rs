@@ -1,0 +1,29 @@
+//! Table 1, weighted row: Theorem 3's `(1+ε)`-Apx-RPaths solve, with the
+//! guarantee asserted on every iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpaths_bench::measure_weighted;
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_weighted_apx");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 192] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut seed = 1;
+                let row = loop {
+                    if let Some(r) = measure_weighted(n, 16, seed) {
+                        break r;
+                    }
+                    seed += 1;
+                };
+                assert!(row.correct, "(1+ε) guarantee violated");
+                row.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Tree aggregation: combine a per-node value with an associative,
+//! commutative operator and deliver the result to every node, in
+//! `O(height)` rounds.
+//!
+//! This is the classic convergecast + downcast pair: leaves report
+//! upward, every internal node folds its subtree as reports arrive, the
+//! root folds the final value and floods it back down. The paper uses
+//! the `Min` instance for 2-SiSP's final aggregation (Definition 2.3)
+//! and the reduction of Corollary 6.2.
+
+use graphkit::Dist;
+
+use crate::bfs_tree::BfsTree;
+use crate::network::{word_bits, Network, NodeCtx, Protocol};
+
+/// The supported aggregation operators over [`Dist`] values.
+///
+/// All are associative and commutative with an identity, which is what
+/// the convergecast requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Minimum; identity ∞.
+    Min,
+    /// Maximum (of finite values); identity 0.
+    Max,
+    /// Saturating sum; identity 0.
+    Sum,
+}
+
+impl AggOp {
+    fn identity(self) -> Dist {
+        match self {
+            AggOp::Min => Dist::INF,
+            AggOp::Max | AggOp::Sum => Dist::ZERO,
+        }
+    }
+
+    fn fold(self, a: Dist, b: Dist) -> Dist {
+        match self {
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+            AggOp::Sum => a + b,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum AggMsg {
+    Up(Dist),
+    Down(Dist),
+}
+
+struct Aggregate<'t> {
+    tree: &'t BfsTree,
+    op: AggOp,
+    acc: Vec<Dist>,
+    waiting: Vec<usize>,
+    sent_up: Vec<bool>,
+    sent_down: Vec<bool>,
+    result: Vec<Option<Dist>>,
+}
+
+impl Protocol for Aggregate<'_> {
+    type Msg = AggMsg;
+
+    fn msg_bits(&self, m: &AggMsg) -> u64 {
+        let d = match m {
+            AggMsg::Up(d) | AggMsg::Down(d) => *d,
+        };
+        2 + word_bits(d.finite().unwrap_or(0))
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, AggMsg>) {
+        let v = ctx.node;
+        for &(_, msg) in ctx.inbox() {
+            match msg {
+                AggMsg::Up(d) => {
+                    self.acc[v] = self.op.fold(self.acc[v], d);
+                    self.waiting[v] -= 1;
+                }
+                AggMsg::Down(d) => self.result[v] = Some(d),
+            }
+        }
+        if self.waiting[v] == 0 && !self.sent_up[v] {
+            self.sent_up[v] = true;
+            match self.tree.parent_port[v] {
+                Some(pp) => ctx.send(pp, AggMsg::Up(self.acc[v])),
+                None => self.result[v] = Some(self.acc[v]),
+            }
+        }
+        if let Some(d) = self.result[v] {
+            if !self.sent_down[v] {
+                self.sent_down[v] = true;
+                let ports = self.tree.child_ports[v].clone();
+                for cp in ports {
+                    ctx.send(cp, AggMsg::Down(d));
+                }
+            }
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.result.iter().all(|r| r.is_some())
+    }
+}
+
+/// Aggregates `values` with `op` over `tree`; every node learns the
+/// result. `O(height)` rounds, charged to `net`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != n` or the protocol fails to quiesce within
+/// `8·(height + 2)` rounds (a tree inconsistency).
+pub fn aggregate(net: &mut Network<'_>, tree: &BfsTree, op: AggOp, values: &[Dist]) -> Dist {
+    let n = net.node_count();
+    assert_eq!(values.len(), n);
+    let waiting: Vec<usize> = (0..n).map(|v| tree.child_ports[v].len()).collect();
+    let acc: Vec<Dist> = values
+        .iter()
+        .map(|&v| op.fold(op.identity(), v))
+        .collect();
+    let mut proto = Aggregate {
+        tree,
+        op,
+        acc,
+        waiting,
+        sent_up: vec![false; n],
+        sent_down: vec![false; n],
+        result: vec![None; n],
+    };
+    net.run_until_quiet("aggregate", &mut proto, 8 * (tree.height + 2))
+        .expect("aggregation quiesces in O(height)");
+    proto.result[tree.root].expect("root folded the result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_tree::build_bfs_tree;
+    use graphkit::gen::random_digraph;
+
+    fn setup(n: usize, seed: u64) -> (graphkit::DiGraph, Vec<Dist>) {
+        let g = random_digraph(n, 2 * n, seed);
+        let values: Vec<Dist> = (0..n).map(|v| Dist::new(((v * 37) % 101) as u64)).collect();
+        (g, values)
+    }
+
+    #[test]
+    fn min_max_sum_match_local_folds() {
+        let (g, values) = setup(40, 3);
+        for (op, expect) in [
+            (AggOp::Min, values.iter().copied().min().unwrap()),
+            (AggOp::Max, values.iter().copied().max().unwrap()),
+            (AggOp::Sum, values.iter().copied().sum()),
+        ] {
+            let mut net = Network::new(&g);
+            let (tree, _) = build_bfs_tree(&mut net, 0);
+            assert_eq!(aggregate(&mut net, &tree, op, &values), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn min_with_infinities() {
+        let (g, _) = setup(20, 5);
+        let mut values = vec![Dist::INF; 20];
+        values[13] = Dist::new(7);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 4);
+        assert_eq!(aggregate(&mut net, &tree, AggOp::Min, &values), Dist::new(7));
+    }
+
+    #[test]
+    fn sum_saturates_at_infinity() {
+        let (g, _) = setup(10, 7);
+        let mut values = vec![Dist::new(1); 10];
+        values[3] = Dist::INF;
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        assert_eq!(aggregate(&mut net, &tree, AggOp::Sum, &values), Dist::INF);
+    }
+
+    #[test]
+    fn rounds_bounded_by_tree_height() {
+        let (g, values) = setup(80, 9);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let before = net.metrics().rounds();
+        let _ = aggregate(&mut net, &tree, AggOp::Min, &values);
+        let used = net.metrics().rounds() - before;
+        assert!(
+            used <= 2 * tree.height + 6,
+            "used {used} rounds for height {}",
+            tree.height
+        );
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = graphkit::GraphBuilder::new(1).build();
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        assert_eq!(
+            aggregate(&mut net, &tree, AggOp::Max, &[Dist::new(9)]),
+            Dist::new(9)
+        );
+    }
+}

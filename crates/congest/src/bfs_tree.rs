@@ -1,0 +1,215 @@
+//! Distributed BFS tree over the underlying undirected graph.
+//!
+//! Nearly every global primitive in the paper (Lemma 2.4 broadcast, the
+//! `O(D)`-round aggregations) runs on a BFS tree rooted anywhere; its
+//! depth is at most the root's undirected eccentricity, hence at most `D`.
+
+use graphkit::NodeId;
+
+use crate::network::{word_bits, Network, NodeCtx, Protocol};
+use crate::RunStats;
+
+/// The result of distributed BFS-tree construction.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The root node.
+    pub root: NodeId,
+    /// Per node: the port leading to its parent (`None` at the root).
+    pub parent_port: Vec<Option<u32>>,
+    /// Per node: the parent node id (`None` at the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Per node: ports leading to its children.
+    pub child_ports: Vec<Vec<u32>>,
+    /// Per node: hop depth from the root.
+    pub depth: Vec<u64>,
+    /// Height of the tree (max depth).
+    pub height: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TreeMsg {
+    /// "I am at depth d; join me."
+    Join { depth: u64 },
+    /// "You are my parent."
+    Adopt,
+}
+
+struct TreeProtocol {
+    root: NodeId,
+    depth: Vec<Option<u64>>,
+    parent_port: Vec<Option<u32>>,
+    child_ports: Vec<Vec<u32>>,
+}
+
+impl Protocol for TreeProtocol {
+    type Msg = TreeMsg;
+
+    fn msg_bits(&self, msg: &TreeMsg) -> u64 {
+        match msg {
+            TreeMsg::Join { depth } => 1 + word_bits(*depth),
+            TreeMsg::Adopt => 1,
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, TreeMsg>) {
+        let v = ctx.node;
+        // Record adoption replies.
+        for i in 0..ctx.inbox().len() {
+            let (port, msg) = ctx.inbox()[i];
+            if matches!(msg, TreeMsg::Adopt) {
+                self.child_ports[v].push(port);
+            }
+        }
+        let newly_joined = if ctx.round == 0 && v == self.root {
+            self.depth[v] = Some(0);
+            true
+        } else if self.depth[v].is_none() {
+            if let Some(&(port, TreeMsg::Join { depth })) = ctx
+                .inbox()
+                .iter()
+                .find(|(_, m)| matches!(m, TreeMsg::Join { .. }))
+            {
+                self.depth[v] = Some(depth + 1);
+                self.parent_port[v] = Some(port);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if newly_joined {
+            let my_depth = self.depth[v].expect("just set");
+            if let Some(pp) = self.parent_port[v] {
+                ctx.send(pp, TreeMsg::Adopt);
+            }
+            for p in 0..ctx.ports().len() as u32 {
+                if Some(p) != self.parent_port[v] {
+                    ctx.send(p, TreeMsg::Join { depth: my_depth });
+                }
+            }
+        }
+    }
+}
+
+/// Builds a BFS tree rooted at `root`, charging the rounds it takes
+/// (at most `ecc(root) + O(1)`).
+///
+/// # Panics
+///
+/// Panics if the communication graph is disconnected (some node never
+/// joins within `2n + 4` rounds).
+pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> (BfsTree, RunStats) {
+    let n = net.node_count();
+    let mut proto = TreeProtocol {
+        root,
+        depth: vec![None; n],
+        parent_port: vec![None; n],
+        child_ports: vec![Vec::new(); n],
+    };
+    let stats = net
+        .run_until_quiet("bfs-tree", &mut proto, 2 * n as u64 + 4)
+        .expect("BFS tree floods quiesce within 2n rounds");
+    let depth: Vec<u64> = proto
+        .depth
+        .iter()
+        .enumerate()
+        .map(|(v, d)| d.unwrap_or_else(|| panic!("node {v} unreachable: communication graph must be connected")))
+        .collect();
+    let height = depth.iter().copied().max().unwrap_or(0);
+    let parent = (0..n)
+        .map(|v| {
+            proto.parent_port[v].map(|p| net.ports(v)[p as usize].peer)
+        })
+        .collect();
+    (
+        BfsTree {
+            root,
+            parent_port: proto.parent_port,
+            parent,
+            child_ports: proto.child_ports,
+            depth,
+            height,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::random_digraph;
+    use graphkit::GraphBuilder;
+
+    #[test]
+    fn line_tree_depths() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_arc(i, i + 1);
+        }
+        let g = b.build();
+        let mut net = Network::new(&g);
+        let (tree, stats) = build_bfs_tree(&mut net, 2);
+        assert_eq!(tree.depth, vec![2, 1, 0, 1, 2]);
+        assert_eq!(tree.height, 2);
+        assert_eq!(tree.parent[2], None);
+        assert_eq!(tree.parent[0], Some(1));
+        assert_eq!(tree.parent[4], Some(3));
+        assert!(stats.rounds <= 5);
+    }
+
+    #[test]
+    fn children_are_symmetric_to_parents() {
+        let g = random_digraph(40, 80, 5);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        for v in 0..40 {
+            for &cp in &tree.child_ports[v] {
+                let child = net.ports(v)[cp as usize].peer;
+                assert_eq!(tree.parent[child], Some(v));
+                assert_eq!(tree.depth[child], tree.depth[v] + 1);
+            }
+        }
+        // Every non-root node is someone's child.
+        let child_count: usize = tree.child_ports.iter().map(|c| c.len()).sum();
+        assert_eq!(child_count, 39);
+    }
+
+    #[test]
+    fn depth_is_undirected_distance() {
+        let g = random_digraph(30, 40, 9);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 7);
+        // Verify against a centralized undirected BFS.
+        let mut dist = vec![usize::MAX; 30];
+        let mut queue = std::collections::VecDeque::new();
+        dist[7] = 0;
+        queue.push_back(7);
+        while let Some(u) = queue.pop_front() {
+            for w in g.undirected_neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for v in 0..30 {
+            assert_eq!(tree.depth[v] as usize, dist[v], "node {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_bounded_by_height() {
+        let g = random_digraph(60, 150, 3);
+        let mut net = Network::new(&g);
+        let (tree, stats) = build_bfs_tree(&mut net, 0);
+        // Joins finish at round height; adopts and quiescence detection
+        // add a constant.
+        assert!(
+            stats.rounds <= tree.height + 3,
+            "rounds {} vs height {}",
+            stats.rounds,
+            tree.height
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Lemma 2.4: broadcasting `M` messages to all nodes in `O(M + D)` rounds.
+//!
+//! Every node starts with a (possibly empty) list of `O(log n)`-bit items.
+//! Items are upcast towards the BFS-tree root (one per tree link per
+//! round, pipelined), the root serializes them, and the stream is downcast
+//! to everyone. All nodes receive all items in the same order.
+
+use std::collections::VecDeque;
+
+use crate::bfs_tree::BfsTree;
+use crate::network::{Network, NodeCtx, Protocol};
+use crate::RunStats;
+
+#[derive(Clone, Debug)]
+enum Flow<T> {
+    Up(T),
+    Down(T),
+}
+
+struct BroadcastProtocol<'t, T, F> {
+    tree: &'t BfsTree,
+    bits: F,
+    /// Items waiting to move towards the root.
+    up_queue: Vec<VecDeque<T>>,
+    /// The root's serialized stream so far (only meaningful at the root).
+    /// At non-root nodes, items received from the parent, in stream order.
+    delivered: Vec<Vec<T>>,
+    /// Next index of `delivered` to forward to children.
+    down_cursor: Vec<usize>,
+    expected_total: usize,
+}
+
+impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
+    type Msg = Flow<T>;
+
+    fn msg_bits(&self, msg: &Flow<T>) -> u64 {
+        match msg {
+            Flow::Up(t) | Flow::Down(t) => 1 + (self.bits)(t),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Flow<T>>) {
+        let v = ctx.node;
+        for (_, msg) in ctx.inbox().iter().cloned().collect::<Vec<_>>() {
+            match msg {
+                Flow::Up(item) => {
+                    if v == self.tree.root {
+                        self.delivered[v].push(item);
+                    } else {
+                        self.up_queue[v].push_back(item);
+                    }
+                }
+                Flow::Down(item) => self.delivered[v].push(item),
+            }
+        }
+        // Move one queued item towards the root.
+        if let Some(item) = self.up_queue[v].pop_front() {
+            match self.tree.parent_port[v] {
+                Some(pp) => ctx.send(pp, Flow::Up(item)),
+                // The root's "upward" move is appending to its own stream.
+                None => self.delivered[v].push(item),
+            }
+        }
+        // Relay the next stream item to all children.
+        if self.down_cursor[v] < self.delivered[v].len() {
+            let item = self.delivered[v][self.down_cursor[v]].clone();
+            self.down_cursor[v] += 1;
+            for &cp in &self.tree.child_ports[v] {
+                ctx.send(cp, Flow::Down(item.clone()));
+            }
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.up_queue.iter().all(|q| q.is_empty())
+            && self
+                .down_cursor
+                .iter()
+                .zip(&self.delivered)
+                .all(|(&c, d)| c == d.len() && d.len() == self.expected_total)
+    }
+}
+
+/// Broadcasts every node's items to every node over `tree`.
+///
+/// Returns, per node, all items in a globally consistent order, plus the
+/// run statistics. `bits` declares the size of one item (the engine
+/// checks it against the bandwidth, so items must be `O(log n)` bits —
+/// split larger payloads into multiple items).
+///
+/// Round complexity is `O(M + height(tree))` where `M` is the total item
+/// count, matching Lemma 2.4; tests assert the constant.
+///
+/// # Panics
+///
+/// Panics if the protocol fails to quiesce within `4(M + height) + 16`
+/// rounds, which would indicate an engine or tree bug.
+pub fn broadcast<T: Clone>(
+    net: &mut Network<'_>,
+    tree: &BfsTree,
+    items: Vec<Vec<T>>,
+    bits: impl Fn(&T) -> u64,
+    phase: &str,
+) -> (Vec<Vec<T>>, RunStats) {
+    let n = net.node_count();
+    assert_eq!(items.len(), n);
+    let total: usize = items.iter().map(|i| i.len()).sum();
+    let mut proto = BroadcastProtocol {
+        tree,
+        bits,
+        up_queue: items.into_iter().map(VecDeque::from).collect(),
+        delivered: vec![Vec::new(); n],
+        down_cursor: vec![0; n],
+        expected_total: total,
+    };
+    let budget = 4 * (total as u64 + tree.height) + 16;
+    let stats = net
+        .run_until_quiet(phase, &mut proto, budget)
+        .expect("broadcast quiesces within O(M + D)");
+    (proto.delivered, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_tree::build_bfs_tree;
+    use graphkit::gen::random_digraph;
+
+    #[test]
+    fn everyone_gets_everything_in_same_order() {
+        let g = random_digraph(30, 60, 2);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let items: Vec<Vec<u64>> = (0..30).map(|v| vec![v as u64, 100 + v as u64]).collect();
+        let (out, _) = broadcast(&mut net, &tree, items, |_| 16, "bcast");
+        assert_eq!(out[0].len(), 60);
+        let mut sorted = out[0].clone();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = (0..30u64).chain(100..130).collect();
+        assert_eq!(sorted, expected);
+        for v in 1..30 {
+            assert_eq!(out[v], out[0], "node {v} must see the same stream");
+        }
+    }
+
+    #[test]
+    fn rounds_linear_in_items_plus_depth() {
+        let g = random_digraph(64, 128, 7);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let m = 50usize;
+        let items: Vec<Vec<u64>> = (0..64)
+            .map(|v| if v < m { vec![v as u64] } else { vec![] })
+            .collect();
+        let (_, stats) = broadcast(&mut net, &tree, items, |_| 16, "bcast");
+        assert!(
+            stats.rounds <= 3 * (m as u64 + tree.height) + 8,
+            "rounds {} too high for M={m}, depth={}",
+            stats.rounds,
+            tree.height
+        );
+    }
+
+    #[test]
+    fn empty_broadcast_is_cheap() {
+        let g = random_digraph(20, 30, 1);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (out, stats) = broadcast(&mut net, &tree, vec![vec![]; 20], |_: &u64| 8, "bcast");
+        assert!(out.iter().all(|o| o.is_empty()));
+        assert!(stats.rounds <= 2);
+    }
+
+    #[test]
+    fn single_origin_many_items() {
+        let g = random_digraph(25, 50, 3);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 5);
+        let mut items: Vec<Vec<u64>> = vec![vec![]; 25];
+        items[13] = (0..40).collect();
+        let (out, _) = broadcast(&mut net, &tree, items, |_| 16, "bcast");
+        for v in 0..25 {
+            assert_eq!(out[v], (0..40).collect::<Vec<u64>>());
+        }
+    }
+}

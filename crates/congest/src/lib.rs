@@ -1,0 +1,50 @@
+//! A round-accurate simulator for the CONGEST model of distributed
+//! computing, plus the communication primitives used by the
+//! replacement-paths algorithms.
+//!
+//! # The model
+//!
+//! A network is a graph `G = (V, E)`; each vertex is a computational node
+//! and each edge a bidirectional communication link. Computation proceeds
+//! in synchronous rounds: in each round every node may send one
+//! `O(log n)`-bit message per incident link per direction, then receives
+//! whatever its neighbors sent. Local computation is free; the complexity
+//! measure is the number of rounds ([Peleg 2000]).
+//!
+//! The simulator *enforces* the model: at most one message per link
+//! direction per round, and every message's declared size must fit the
+//! configured bandwidth. Violations are protocol bugs and panic.
+//!
+//! # Layout
+//!
+//! - [`Network`] + [`Protocol`]: the engine. Algorithms are state
+//!   machines; the engine owns delivery, round counting, bit accounting,
+//!   and optional cut accounting (bits crossing a labelled vertex cut —
+//!   used by the Section 6 lower-bound experiments).
+//! - [`bfs_tree`]: distributed BFS tree over the underlying undirected
+//!   graph (depth at most the eccentricity of the root, hence at most
+//!   `D`).
+//! - [`broadcast`]: Lemma 2.4 — broadcasting `M` messages to everyone in
+//!   `O(M + D)` rounds via pipelined upcast/downcast on the BFS tree.
+//! - [`aggregate`]: op-generic tree aggregation (convergecast +
+//!   downcast) in `O(D)` rounds — the 2-SiSP finale uses the `Min`
+//!   instance.
+//! - [`multi_bfs`]: Lemma 5.5 — `k`-source `h`-hop BFS in `O(k + h)`
+//!   rounds, with optional per-edge hop delays (the rounding device of
+//!   Section 7) and per-source distance tables.
+//! - [`pipeline`]: staggered prefix folds along an embedded path — the
+//!   "information pipelining" pattern of Lemmas 4.4, 5.7, 7.7 and 7.8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod bfs_tree;
+pub mod broadcast;
+mod metrics;
+pub mod multi_bfs;
+mod network;
+pub mod pipeline;
+
+pub use metrics::{Metrics, PhaseStats, RunStats};
+pub use network::{word_bits, EngineError, NodeCtx, Network, Port, Protocol, Side};

@@ -1,0 +1,139 @@
+//! Round, message, bit, and cut accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one protocol run (one "phase" of an algorithm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Synchronous rounds consumed.
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total declared message bits.
+    pub bits: u64,
+    /// Bits that crossed the labelled Alice/Bob cut (0 when no cut is
+    /// configured).
+    pub cut_bits: u64,
+    /// Largest declared size of any single message, in bits.
+    pub max_message_bits: u64,
+}
+
+impl RunStats {
+    /// Accumulates another run into this one (rounds add up; sizes max).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.cut_bits += other.cut_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} msgs, {} bits",
+            self.rounds, self.messages, self.bits
+        )
+    }
+}
+
+/// A named phase in an algorithm's metric log.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Human-readable phase label (e.g. `"hop-bfs"`).
+    pub name: String,
+    /// Statistics for that phase.
+    pub stats: RunStats,
+}
+
+/// Cumulative metrics for a [`crate::Network`] across all phases.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Aggregate over all phases.
+    pub total: RunStats,
+    /// Per-phase breakdown, in execution order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl Metrics {
+    /// Records a finished phase.
+    pub fn record(&mut self, name: impl Into<String>, stats: RunStats) {
+        self.total.absorb(&stats);
+        self.phases.push(PhaseStats {
+            name: name.into(),
+            stats,
+        });
+    }
+
+    /// Total rounds across all phases.
+    pub fn rounds(&self) -> u64 {
+        self.total.rounds
+    }
+
+    /// Looks up the accumulated stats of all phases whose name contains
+    /// `needle`.
+    pub fn phase_total(&self, needle: &str) -> RunStats {
+        let mut acc = RunStats::default();
+        for p in &self.phases {
+            if p.name.contains(needle) {
+                acc.absorb(&p.stats);
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {}", self.total)?;
+        for p in &self.phases {
+            writeln!(f, "  {:<28} {}", p.name, p.stats)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_and_maxes() {
+        let mut a = RunStats {
+            rounds: 3,
+            messages: 10,
+            bits: 100,
+            cut_bits: 5,
+            max_message_bits: 12,
+        };
+        let b = RunStats {
+            rounds: 2,
+            messages: 1,
+            bits: 9,
+            cut_bits: 0,
+            max_message_bits: 30,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 11);
+        assert_eq!(a.bits, 109);
+        assert_eq!(a.cut_bits, 5);
+        assert_eq!(a.max_message_bits, 30);
+    }
+
+    #[test]
+    fn metrics_record_and_query() {
+        let mut m = Metrics::default();
+        m.record("bfs/forward", RunStats { rounds: 4, ..Default::default() });
+        m.record("bfs/backward", RunStats { rounds: 6, ..Default::default() });
+        m.record("broadcast", RunStats { rounds: 10, ..Default::default() });
+        assert_eq!(m.rounds(), 20);
+        assert_eq!(m.phase_total("bfs").rounds, 10);
+        assert_eq!(m.phase_total("broadcast").rounds, 10);
+        assert_eq!(m.phases.len(), 3);
+    }
+}

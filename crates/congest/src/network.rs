@@ -1,0 +1,587 @@
+//! The synchronous round engine.
+
+use std::fmt;
+
+use graphkit::{DiGraph, EdgeId, NodeId};
+
+use crate::metrics::{Metrics, RunStats};
+
+/// Number of bits needed to write `x` in binary (`0 -> 1` bit).
+///
+/// Used to express message sizes in terms of the paper's `O(log n)`-bit
+/// words.
+pub fn word_bits(x: u64) -> u64 {
+    (64 - x.leading_zeros() as u64).max(1)
+}
+
+/// One end of a communication link, as seen from a particular node.
+///
+/// A link is a graph edge; communication is bidirectional regardless of
+/// the edge's direction, but protocols usually care whether the node is
+/// the edge's tail (`outgoing == true`) or head.
+#[derive(Clone, Copy, Debug)]
+pub struct Port {
+    /// The graph edge realizing this link.
+    pub link: EdgeId,
+    /// The node on the other end.
+    pub peer: NodeId,
+    /// `true` when this node is the edge's tail (`edge.from`).
+    pub outgoing: bool,
+    /// The edge weight (1 in unweighted graphs).
+    pub weight: u64,
+}
+
+/// Which side of the Alice/Bob cut a node belongs to (Section 6
+/// experiments). Messages between `Alice` and `Bob` nodes are counted in
+/// [`RunStats::cut_bits`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Alice's side of the cut.
+    Alice,
+    /// Bob's side of the cut.
+    Bob,
+    /// Not assigned to either player.
+    Neutral,
+}
+
+/// Errors the engine can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The protocol did not reach quiescence within the round budget.
+    RoundLimitExceeded {
+        /// The configured budget.
+        max_rounds: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "protocol still active after {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A node's view of one round: its inbox from the previous round and an
+/// outbox for this round.
+pub struct NodeCtx<'a, M> {
+    /// This node's id.
+    pub node: NodeId,
+    /// The current round number (0-based; round 0 has empty inboxes).
+    pub round: u64,
+    ports: &'a [Port],
+    inbox: &'a [(u32, M)],
+    outbox: &'a mut Vec<(NodeId, u32, M)>,
+}
+
+impl<'a, M> NodeCtx<'a, M> {
+    /// The node's incident links.
+    #[inline]
+    pub fn ports(&self) -> &[Port] {
+        self.ports
+    }
+
+    /// Messages delivered this round as `(port index, message)` pairs.
+    #[inline]
+    pub fn inbox(&self) -> &[(u32, M)] {
+        self.inbox
+    }
+
+    /// Queues a message on the given port.
+    ///
+    /// The engine enforces the CONGEST constraint when the round is
+    /// committed: at most one message per link per direction per round.
+    #[inline]
+    pub fn send(&mut self, port: u32, msg: M) {
+        debug_assert!((port as usize) < self.ports.len(), "port out of range");
+        self.outbox.push((self.node, port, msg));
+    }
+}
+
+/// A distributed algorithm driven by the engine.
+///
+/// One `Protocol` value holds the state of *all* nodes (typically as
+/// `Vec`s indexed by `NodeId`); the engine calls [`Protocol::on_round`]
+/// once per node per round. Implementations must only read and write the
+/// state of `ctx.node` — all cross-node information must flow through
+/// messages. The engine cannot enforce this discipline, but it does
+/// enforce the bandwidth constraints on everything that is sent.
+pub trait Protocol {
+    /// The message type. Its size in bits is declared via
+    /// [`Protocol::msg_bits`] and checked against the network bandwidth.
+    type Msg: Clone;
+
+    /// Declared size of a message in bits; must be `O(log n)` (fit the
+    /// network's bandwidth).
+    fn msg_bits(&self, msg: &Self::Msg) -> u64;
+
+    /// Executes one round at `ctx.node`: read `ctx.inbox()`, update local
+    /// state, send messages.
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>);
+
+    /// `false` while the protocol has internal pending work even though no
+    /// messages are in flight (e.g. delayed deliveries or staggered
+    /// starts). Quiescence requires `idle()` *and* an empty network.
+    fn idle(&self) -> bool {
+        true
+    }
+}
+
+/// A CONGEST network over a [`DiGraph`], with cumulative metrics.
+///
+/// # Examples
+///
+/// ```
+/// use congest::Network;
+/// use graphkit::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_arc(0, 1);
+/// b.add_arc(1, 2);
+/// let g = b.build();
+/// let net = Network::new(&g);
+/// assert_eq!(net.node_count(), 3);
+/// assert_eq!(net.ports(1).len(), 2);
+/// ```
+pub struct Network<'g> {
+    graph: &'g DiGraph,
+    ports: Vec<Vec<Port>>,
+    /// For each edge: (port index at `from`, port index at `to`).
+    edge_ports: Vec<(u32, u32)>,
+    bandwidth: u64,
+    cut: Option<Vec<Side>>,
+    metrics: Metrics,
+}
+
+impl<'g> Network<'g> {
+    /// Wraps a graph as a CONGEST network with the default `Θ(log n)`
+    /// bandwidth (`8·⌈log₂ n⌉ + 32` bits, enough for a constant number of
+    /// words per message).
+    pub fn new(graph: &'g DiGraph) -> Network<'g> {
+        let n = graph.node_count();
+        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n];
+        let mut edge_ports = vec![(0u32, 0u32); graph.edge_count()];
+        for (id, e) in graph.edges() {
+            edge_ports[id].0 = ports[e.from].len() as u32;
+            ports[e.from].push(Port {
+                link: id,
+                peer: e.to,
+                outgoing: true,
+                weight: e.weight,
+            });
+            edge_ports[id].1 = ports[e.to].len() as u32;
+            ports[e.to].push(Port {
+                link: id,
+                peer: e.from,
+                outgoing: false,
+                weight: e.weight,
+            });
+        }
+        let bandwidth = 8 * word_bits(n as u64) + 32;
+        Network {
+            graph,
+            ports,
+            edge_ports,
+            bandwidth,
+            cut: None,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Overrides the per-message bandwidth in bits (the `B` of
+    /// `CONGEST(B)`).
+    pub fn with_bandwidth(mut self, bits: u64) -> Network<'g> {
+        self.bandwidth = bits;
+        self
+    }
+
+    /// Labels nodes with cut sides for Alice/Bob bit accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides.len() != n`.
+    pub fn set_cut(&mut self, sides: Vec<Side>) {
+        assert_eq!(sides.len(), self.graph.node_count());
+        self.cut = Some(sides);
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g DiGraph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Configured per-message bandwidth in bits.
+    #[inline]
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
+    /// The ports of node `v`.
+    #[inline]
+    pub fn ports(&self, v: NodeId) -> &[Port] {
+        &self.ports[v]
+    }
+
+    /// Port index of edge `e` at its tail (`from`) endpoint.
+    #[inline]
+    pub fn port_at_tail(&self, e: EdgeId) -> u32 {
+        self.edge_ports[e].0
+    }
+
+    /// Port index of edge `e` at its head (`to`) endpoint.
+    #[inline]
+    pub fn port_at_head(&self, e: EdgeId) -> u32 {
+        self.edge_ports[e].1
+    }
+
+    /// Cumulative metrics over every phase run so far.
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Records a phase executed outside the engine (e.g. a fixed number of
+    /// idle alignment rounds). Use sparingly; prefer real protocols.
+    pub fn charge(&mut self, name: &str, stats: RunStats) {
+        self.metrics.record(name, stats);
+    }
+
+    /// Runs `proto` for exactly `rounds` rounds (deterministic schedules
+    /// with known round bounds, e.g. the ζ-round hop-BFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol violates the CONGEST constraints (two
+    /// messages on one link direction in a round, or an oversized
+    /// message).
+    pub fn run_rounds<P: Protocol>(&mut self, name: &str, proto: &mut P, rounds: u64) -> RunStats {
+        let (stats, _) = self.drive(proto, Budget::Exact(rounds));
+        self.metrics.record(name, stats);
+        stats
+    }
+
+    /// Runs `proto` until quiescence (no messages in flight and
+    /// `proto.idle()`), up to `max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on CONGEST constraint violations, as in
+    /// [`Network::run_rounds`].
+    pub fn run_until_quiet<P: Protocol>(
+        &mut self,
+        name: &str,
+        proto: &mut P,
+        max_rounds: u64,
+    ) -> Result<RunStats, EngineError> {
+        let (stats, quiesced) = self.drive(proto, Budget::UntilQuiet(max_rounds));
+        if !quiesced {
+            return Err(EngineError::RoundLimitExceeded { max_rounds });
+        }
+        self.metrics.record(name, stats);
+        Ok(stats)
+    }
+
+    fn drive<P: Protocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
+        let n = self.graph.node_count();
+        let mut stats = RunStats::default();
+        let mut inboxes: Vec<Vec<(u32, P::Msg)>> = vec![Vec::new(); n];
+        let mut next: Vec<Vec<(u32, P::Msg)>> = vec![Vec::new(); n];
+        let mut outbox: Vec<(NodeId, u32, P::Msg)> = Vec::new();
+        // Per-round link-direction occupancy; directions are 2*link + side.
+        let mut occupied: Vec<u64> = vec![0; 2 * self.graph.edge_count()];
+        let mut round: u64 = 0;
+        let mut quiesced = false;
+        loop {
+            match budget {
+                Budget::Exact(r) if round >= r => {
+                    quiesced = true;
+                    break;
+                }
+                Budget::UntilQuiet(max) if round >= max => break,
+                _ => {}
+            }
+            outbox.clear();
+            for v in 0..n {
+                let mut ctx = NodeCtx {
+                    node: v,
+                    round,
+                    ports: &self.ports[v],
+                    inbox: &inboxes[v],
+                    outbox: &mut outbox,
+                };
+                proto.on_round(&mut ctx);
+            }
+            let sent = outbox.len() as u64;
+            for (sender, port_idx, msg) in outbox.drain(..) {
+                let port = self.ports[sender][port_idx as usize];
+                let dir = 2 * port.link + usize::from(!port.outgoing);
+                assert_ne!(
+                    occupied[dir],
+                    round + 1,
+                    "CONGEST violation: two messages on link {} direction {} in round {} \
+                     (sender {})",
+                    port.link,
+                    usize::from(!port.outgoing),
+                    round,
+                    sender
+                );
+                occupied[dir] = round + 1;
+                let bits = proto.msg_bits(&msg);
+                assert!(
+                    bits <= self.bandwidth,
+                    "CONGEST violation: {bits}-bit message exceeds bandwidth {} (sender {sender})",
+                    self.bandwidth
+                );
+                stats.messages += 1;
+                stats.bits += bits;
+                stats.max_message_bits = stats.max_message_bits.max(bits);
+                if let Some(cut) = &self.cut {
+                    let a = cut[sender];
+                    let b = cut[port.peer];
+                    if a != b && a != Side::Neutral && b != Side::Neutral {
+                        stats.cut_bits += bits;
+                    }
+                }
+                let recv_port = if port.outgoing {
+                    self.edge_ports[port.link].1
+                } else {
+                    self.edge_ports[port.link].0
+                };
+                next[port.peer].push((recv_port, msg));
+            }
+            round += 1;
+            for v in 0..n {
+                inboxes[v].clear();
+            }
+            std::mem::swap(&mut inboxes, &mut next);
+            if matches!(budget, Budget::UntilQuiet(_))
+                && sent == 0
+                && inboxes.iter().all(|i| i.is_empty())
+                && proto.idle()
+            {
+                quiesced = true;
+                break;
+            }
+        }
+        stats.rounds = round;
+        (stats, quiesced)
+    }
+}
+
+impl fmt::Debug for Network<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.graph.node_count())
+            .field("links", &self.graph.edge_count())
+            .field("bandwidth_bits", &self.bandwidth)
+            .finish()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Budget {
+    Exact(u64),
+    UntilQuiet(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::GraphBuilder;
+
+    /// Floods a token from node 0; each node records the round it heard it.
+    struct Flood {
+        heard: Vec<Option<u64>>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = ();
+
+        fn msg_bits(&self, _: &()) -> u64 {
+            1
+        }
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            let v = ctx.node;
+            let newly = if ctx.round == 0 && v == 0 {
+                self.heard[v] = Some(0);
+                true
+            } else if self.heard[v].is_none() && !ctx.inbox().is_empty() {
+                self.heard[v] = Some(ctx.round);
+                true
+            } else {
+                false
+            };
+            if newly {
+                for p in 0..ctx.ports().len() as u32 {
+                    ctx.send(p, ());
+                }
+            }
+        }
+    }
+
+    fn line(n: usize) -> DiGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_arc(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_ecc_rounds() {
+        let g = line(6);
+        let mut net = Network::new(&g);
+        let mut p = Flood {
+            heard: vec![None; 6],
+        };
+        let stats = net.run_until_quiet("flood", &mut p, 100).unwrap();
+        for (v, h) in p.heard.iter().enumerate() {
+            assert_eq!(*h, Some(v as u64), "node {v}");
+        }
+        // 5 hops to the far end, +1 round to observe quiescence.
+        assert!(stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert_eq!(net.metrics().rounds(), stats.rounds);
+    }
+
+    #[test]
+    fn flood_crosses_reversed_edges() {
+        // Links are bidirectional even though edges are directed.
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(1, 0);
+        b.add_arc(2, 1);
+        let g = b.build();
+        let mut net = Network::new(&g);
+        let mut p = Flood {
+            heard: vec![None; 3],
+        };
+        net.run_until_quiet("flood", &mut p, 100).unwrap();
+        assert!(p.heard.iter().all(|h| h.is_some()));
+    }
+
+    #[test]
+    fn exact_budget_charges_full_rounds() {
+        let g = line(4);
+        let mut net = Network::new(&g);
+        let mut p = Flood {
+            heard: vec![None; 4],
+        };
+        let stats = net.run_rounds("flood", &mut p, 50);
+        assert_eq!(stats.rounds, 50);
+    }
+
+    #[test]
+    fn round_limit_is_an_error() {
+        let g = line(10);
+        let mut net = Network::new(&g);
+        let mut p = Flood {
+            heard: vec![None; 10],
+        };
+        let err = net.run_until_quiet("flood", &mut p, 3);
+        assert_eq!(err, Err(EngineError::RoundLimitExceeded { max_rounds: 3 }));
+        // Node 9 cannot have heard anything within 3 rounds.
+        assert!(p.heard[9].is_none());
+    }
+
+    struct DoubleSend;
+
+    impl Protocol for DoubleSend {
+        type Msg = ();
+        fn msg_bits(&self, _: &()) -> u64 {
+            1
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            if ctx.node == 0 && ctx.round == 0 {
+                ctx.send(0, ());
+                ctx.send(0, ());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn two_messages_on_one_direction_panic() {
+        let g = line(2);
+        let mut net = Network::new(&g);
+        net.run_rounds("bad", &mut DoubleSend, 2);
+    }
+
+    struct FatMessage;
+
+    impl Protocol for FatMessage {
+        type Msg = ();
+        fn msg_bits(&self, _: &()) -> u64 {
+            1 << 20
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            if ctx.node == 0 && ctx.round == 0 {
+                ctx.send(0, ());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bandwidth")]
+    fn oversized_message_panics() {
+        let g = line(2);
+        let mut net = Network::new(&g);
+        net.run_rounds("fat", &mut FatMessage, 2);
+    }
+
+    #[test]
+    fn opposite_directions_share_a_link() {
+        // Both endpoints may use the same link in the same round.
+        struct PingPong;
+        impl Protocol for PingPong {
+            type Msg = ();
+            fn msg_bits(&self, _: &()) -> u64 {
+                1
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+                if ctx.round == 0 {
+                    ctx.send(0, ());
+                }
+            }
+        }
+        let g = line(2);
+        let mut net = Network::new(&g);
+        let stats = net.run_rounds("pingpong", &mut PingPong, 2);
+        assert_eq!(stats.messages, 2);
+    }
+
+    #[test]
+    fn cut_accounting_counts_crossing_bits() {
+        let g = line(4);
+        let mut net = Network::new(&g);
+        net.set_cut(vec![Side::Alice, Side::Alice, Side::Bob, Side::Bob]);
+        let mut p = Flood {
+            heard: vec![None; 4],
+        };
+        let stats = net.run_until_quiet("flood", &mut p, 100).unwrap();
+        // Only link 1<->2 crosses; flooding sends once in each direction
+        // eventually, but node 2 hears before sending back, so exactly the
+        // forward message plus node 2's echo cross.
+        assert!(stats.cut_bits >= 1);
+        assert!(stats.cut_bits <= 2);
+    }
+
+    #[test]
+    fn word_bits_examples() {
+        assert_eq!(word_bits(0), 1);
+        assert_eq!(word_bits(1), 1);
+        assert_eq!(word_bits(2), 2);
+        assert_eq!(word_bits(255), 8);
+        assert_eq!(word_bits(256), 9);
+    }
+}

@@ -1,0 +1,13 @@
+//! The algorithms the paper compares against (Table 1).
+//!
+//! - [`naive`]: the trivial `O(h_st · T_SSSP)` algorithm mentioned in the
+//!   paper's remark — one BFS in `G \ e` per path edge, sequentially.
+//! - [`mr24`]: the `eO(n^{2/3} + √(n·h_st) + D)` algorithm of Manoharan
+//!   and Ramachandran (SIROCCO 2024), whose round profile carries the
+//!   `h_st` dependence the paper eliminates: a simultaneous ζ-hop BFS
+//!   from *all* path vertices (`O(h_st + ζ)` rounds) and a broadcast in
+//!   which path vertices, not just landmarks, publish their landmark
+//!   distances (`O(|L|² + |L|·h_st + D)` messages).
+
+pub mod mr24;
+pub mod naive;

@@ -1,0 +1,78 @@
+//! Distributed replacement paths in the CONGEST model.
+//!
+//! This crate implements the algorithms of *Optimal Distributed
+//! Replacement Paths* (Chang, Chen, Dey, Mishra, Nguyen, Sanchez; PODC
+//! 2025) on top of the message-level simulator in the `congest` crate:
+//!
+//! - [`unweighted::solve`] — **Theorem 1**: exact replacement paths in
+//!   unweighted directed graphs in `eO(n^{2/3} + D)` rounds, combining
+//!   the short-detour machinery of Section 4 ([`short`]) with the
+//!   landmark-based long-detour machinery of Section 5 ([`long`]).
+//! - [`weighted::solve`] — **Theorem 3**: `(1+ε)`-approximate replacement
+//!   paths in weighted directed graphs in the same round complexity
+//!   (Section 7), via rounding.
+//! - [`sisp`] — the 2-SiSP problem (Definition 2.3): the single smallest
+//!   replacement length, aggregated in `O(D)` extra rounds.
+//! - [`reachability`] — the yes/no variant from the paper's open
+//!   problems (Section 8): which path edges are survivable at all.
+//! - [`baseline`] — what the paper compares against: the trivial
+//!   `O(h_st · T_SSSP)` algorithm and the `eO(n^{2/3} + √(n·h_st) + D)`
+//!   algorithm of Manoharan and Ramachandran (SIROCCO 2024).
+//!
+//! The entry point for problem instances is [`Instance`]; algorithm knobs
+//! (the short/long threshold ζ, the landmark sampling rate, seeds, ε)
+//! live in [`Params`]. Every solver returns both the answers and the
+//! full round/message/bit accounting of its run.
+//!
+//! # Quick example
+//!
+//! ```
+//! use graphkit::gen::parallel_lane;
+//! use rpaths_core::{Instance, Params, unweighted};
+//!
+//! let (g, s, t) = parallel_lane(16, 4, 2);
+//! let inst = Instance::from_endpoints(&g, s, t).unwrap();
+//! let params = Params::for_instance(&inst);
+//! let out = unweighted::solve(&inst, &params);
+//! // Exact agreement with the centralized oracle:
+//! let oracle = graphkit::alg::replacement_lengths(inst.graph, &inst.path);
+//! assert_eq!(out.replacement, oracle);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod instance;
+pub mod knowledge;
+pub mod long;
+mod params;
+pub mod reachability;
+pub mod short;
+pub mod sisp;
+pub mod unweighted;
+pub mod weighted;
+
+pub use instance::{Instance, InstanceError};
+pub use params::Params;
+
+use congest::Metrics;
+use graphkit::Dist;
+
+/// The output of a replacement-paths solver.
+#[derive(Clone, Debug)]
+pub struct RPathsOutput {
+    /// `replacement[i] = |st ⋄ (v_i, v_{i+1})|` for each edge of `P`
+    /// (exact solvers) or an upper bound within the approximation
+    /// guarantee (approximate solvers).
+    pub replacement: Vec<Dist>,
+    /// Full round/message/bit accounting for the run.
+    pub metrics: Metrics,
+}
+
+impl RPathsOutput {
+    /// The 2-SiSP value implied by the per-edge answers.
+    pub fn sisp(&self) -> Dist {
+        self.replacement.iter().copied().min().unwrap_or(Dist::INF)
+    }
+}

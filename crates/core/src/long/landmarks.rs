@@ -1,0 +1,75 @@
+//! Definition 5.2: landmark sampling, and the Lemma 5.3 coverage
+//! predicate used by tests.
+
+use graphkit::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Instance, Params};
+
+/// Samples the landmark set `L`: every vertex of `G` independently with
+/// probability [`Params::landmark_prob`] (Definition 5.2). Deterministic
+/// given the seed.
+pub fn sample(inst: &Instance<'_>, params: &Params) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1a4d_3a9c);
+    inst.graph
+        .nodes()
+        .filter(|_| rng.gen_bool(params.landmark_prob))
+        .collect()
+}
+
+/// Lemma 5.3's event, checkable: does every window of `window` consecutive
+/// vertices of `walk` contain a landmark?
+///
+/// The paper's algorithms are correct whenever this holds for the
+/// relevant shortest paths; tests use it to distinguish "algorithm bug"
+/// from "sampling was unlucky" on tiny instances.
+pub fn covers(walk: &[NodeId], landmarks: &[NodeId], window: usize) -> bool {
+    if walk.len() < window {
+        return true;
+    }
+    let is_lm: std::collections::HashSet<_> = landmarks.iter().copied().collect();
+    walk.windows(window)
+        .all(|w| w.iter().any(|v| is_lm.contains(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::planted_path_digraph;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let (g, s, t) = planted_path_digraph(50, 10, 100, 1);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let params = Params::for_instance(&inst);
+        assert_eq!(sample(&inst, &params), sample(&inst, &params));
+    }
+
+    #[test]
+    fn probability_one_samples_everyone() {
+        let (g, s, t) = planted_path_digraph(30, 8, 50, 2);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::for_instance(&inst);
+        params.landmark_prob = 1.0;
+        assert_eq!(sample(&inst, &params).len(), 30);
+    }
+
+    #[test]
+    fn expected_size_tracks_probability() {
+        let (g, s, t) = planted_path_digraph(400, 20, 800, 3);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::for_instance(&inst);
+        params.landmark_prob = 0.25;
+        let l = sample(&inst, &params).len();
+        assert!((50..=150).contains(&l), "|L| = {l} far from 100");
+    }
+
+    #[test]
+    fn coverage_predicate() {
+        let walk = vec![0, 1, 2, 3, 4, 5];
+        assert!(covers(&walk, &[2, 5], 3));
+        assert!(!covers(&walk, &[5], 3));
+        assert!(covers(&walk, &[], 7)); // window longer than walk
+    }
+}

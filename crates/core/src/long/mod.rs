@@ -1,0 +1,109 @@
+//! Section 5: long-detour replacement paths (Proposition 5.1).
+//!
+//! Detours longer than ζ hops contain a landmark vertex w.h.p.
+//! (Lemma 5.3), so the replacement length for edge `e = (v_i, v_{i+1})`
+//! can be reconstructed as
+//!
+//! ```text
+//! min over landmarks l of  |s·l ⋄ P[v_i, t]|  +  |l·t ⋄ P[s, v_{i+1}]|
+//! ```
+//!
+//! The pipeline, per the paper:
+//!
+//! 1. [`landmarks`] — Definition 5.2 sampling.
+//! 2. [`dists`] — Lemma 5.4 + 5.6: ζ-hop BFS from all landmarks in both
+//!    directions of `G \ P`, a broadcast of the `|L|²` pairwise
+//!    hop-bounded distances, and a local min-plus closure; afterwards
+//!    every vertex knows its exact (w.h.p.) distance to and from every
+//!    landmark in `G \ P`.
+//! 3. [`segments`] — Lemmas 5.7–5.9: the path is cut into `O(n^{1/3})`
+//!    segments at checkpoints; pipelined in-segment sweeps compute the
+//!    "localized" prefix minima, segment summaries are broadcast
+//!    (`O(n^{2/3})` messages), and a final `O(|L|)`-round shift moves the
+//!    landmark-to-`t` values one hop left.
+//!
+//! The result is an upper bound on `|st ⋄ e|` that is exact (w.h.p.)
+//! whenever some shortest replacement path for `e` has a long detour.
+
+pub mod dists;
+pub mod landmarks;
+pub mod segments;
+
+use congest::bfs_tree::BfsTree;
+use congest::Network;
+use graphkit::Dist;
+
+use crate::{Instance, Params};
+
+/// Proposition 5.1: per-edge upper bounds on `|st ⋄ e|`, exact (w.h.p.)
+/// for edges whose best replacement uses a long detour.
+///
+/// Charges `eO(n^{2/3} + D)` rounds to `net` (with the paper's ζ).
+pub fn solve_long(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+    tree: &BfsTree,
+) -> Vec<Dist> {
+    let lm = landmarks::sample(inst, params);
+    if lm.is_empty() {
+        // No landmarks (possible only on tiny instances): no long-detour
+        // candidates can be produced.
+        return vec![Dist::INF; inst.hops()];
+    }
+    let ld = dists::landmark_distances(net, inst, params, &lm, tree);
+    let m_table = segments::distances_from_s(net, inst, params, &ld, tree, &inst.prefix);
+    let n_table = segments::distances_to_t(net, inst, params, &ld, tree, &inst.suffix);
+    // Final local combine at each v_i (the n_table is already shifted so
+    // that entry i holds the values of v_{i+1}).
+    (0..inst.hops())
+        .map(|i| {
+            (0..lm.len())
+                .map(|j| m_table[i][j] + n_table[i][j])
+                .min()
+                .unwrap_or(Dist::INF)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::bfs_tree::build_bfs_tree;
+    use graphkit::alg::replacement_lengths;
+    use graphkit::gen::{parallel_lane, planted_path_digraph};
+
+    fn run_long(inst: &Instance<'_>, params: &Params) -> Vec<Dist> {
+        let mut net = Network::new(inst.graph);
+        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        solve_long(&mut net, inst, params, &tree)
+    }
+
+    #[test]
+    fn long_detours_found_on_lane() {
+        // Lane detours have 2 + 4·3 = 14 hops; ζ = 4 makes them "long".
+        let (g, s, t) = parallel_lane(16, 4, 3);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        // Dense landmarks so the w.h.p. guarantee holds at this tiny n.
+        let mut params = Params::with_zeta(inst.n(), 4);
+        params.landmark_prob = 1.0;
+        let got = run_long(&inst, &params);
+        let want = replacement_lengths(&g, &inst.path);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn upper_bound_even_when_detours_are_short() {
+        for seed in 0..5 {
+            let (g, s, t) = planted_path_digraph(40, 12, 100, seed);
+            let inst = Instance::from_endpoints(&g, s, t).unwrap();
+            let mut params = Params::with_zeta(inst.n(), 6);
+            params.landmark_prob = 1.0;
+            let got = run_long(&inst, &params);
+            let want = replacement_lengths(&g, &inst.path);
+            for (i, (&g_i, &w_i)) in got.iter().zip(want.iter()).enumerate() {
+                assert!(g_i >= w_i, "seed {seed} edge {i}: {g_i} < oracle {w_i}");
+            }
+        }
+    }
+}

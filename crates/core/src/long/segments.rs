@@ -1,0 +1,317 @@
+//! Lemmas 5.7–5.9: checkpoints, in-segment pipelining, and the broadcast
+//! combine.
+//!
+//! The path is cut at checkpoints every ζ hops. Within each segment a
+//! staggered prefix sweep (Lemma 5.7) computes the localized values
+//! `Mᵢ[l_j, v]`; the per-segment summaries are broadcast (Lemma 5.8,
+//! `O(ℓ·|L|) = eO(n^{2/3})` messages) and every vertex combines the two.
+//! The mirrored computation towards `t` (Lemma 5.9) runs on backward
+//! lanes and finishes with an `O(|L|)`-round shift so that `v_i` (rather
+//! than `v_{i+1}`) holds the landmark-to-`t` values.
+
+use congest::bfs_tree::BfsTree;
+use congest::broadcast::broadcast;
+use congest::pipeline::{prefix_sweep, Lane};
+use congest::{word_bits, Network};
+use graphkit::Dist;
+
+use crate::long::dists::LandmarkDistances;
+use crate::{Instance, Params};
+
+/// Checkpoint positions: `0, ζ, 2ζ, ..., h` (Section 5). Always includes
+/// both endpoints; consecutive checkpoints are at most ζ apart.
+pub fn checkpoints(h: usize, spacing: usize) -> Vec<usize> {
+    assert!(spacing >= 1);
+    let mut cps: Vec<usize> = (0..h).step_by(spacing).collect();
+    cps.push(h);
+    cps
+}
+
+fn forward_lanes(inst: &Instance<'_>, cps: &[usize]) -> Vec<Lane> {
+    cps.windows(2)
+        .map(|w| {
+            let (a, b) = (w[0], w[1]);
+            Lane::forward(
+                inst.path.nodes()[a..=b].to_vec(),
+                inst.path.edges()[a..b].to_vec(),
+            )
+        })
+        .collect()
+}
+
+fn backward_lanes(inst: &Instance<'_>, cps: &[usize]) -> Vec<Lane> {
+    cps.windows(2)
+        .map(|w| {
+            let (a, b) = (w[0], w[1]);
+            let mut nodes = inst.path.nodes()[a..=b].to_vec();
+            let mut links = inst.path.edges()[a..b].to_vec();
+            nodes.reverse();
+            links.reverse();
+            Lane::backward(nodes, links)
+        })
+        .collect()
+}
+
+fn bits_of_summary(&(seg, j, d): &(u32, u32, u64)) -> u64 {
+    word_bits(seg as u64) + word_bits(j as u64) + word_bits(d)
+}
+
+/// Lemma 5.8 (Part 1): returns `out[i][j] = |s·l_j ⋄ P[v_i, t]|` for
+/// every edge index `i` and landmark `j`, i.e.
+/// `min over u ≤ v_i of (|s·u| + |u·l_j|_{G\P})`.
+pub fn distances_from_s(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+    ld: &LandmarkDistances,
+    tree: &BfsTree,
+    prefix: &[Dist],
+) -> Vec<Vec<Dist>> {
+    let h = inst.hops();
+    let k = ld.landmarks.len();
+    let cps = checkpoints(h, params.zeta);
+    let lanes = forward_lanes(inst, &cps);
+    // Lemma 5.7: in-segment prefix sweeps, one job per landmark.
+    let input = |lane: usize, pos: usize, j: usize| -> Dist {
+        let global = cps[lane] + pos;
+        let v = inst.path.node(global);
+        prefix[global] + ld.to_landmark[j][v]
+    };
+    let (m_seg, _) = prefix_sweep(net, &lanes, k, &input, "long/sweep-from-s");
+    // Lemma 5.8: broadcast each segment's value at its right checkpoint.
+    let mut items: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); inst.n()];
+    for (li, lane) in lanes.iter().enumerate() {
+        let last = lane.nodes.len() - 1;
+        let origin = lane.nodes[last];
+        for j in 0..k {
+            if let Some(d) = m_seg[li][last][j].finite() {
+                items[origin].push((li as u32, j as u32, d));
+            }
+        }
+    }
+    let (streams, _) = broadcast(net, tree, items, bits_of_summary, "long/broadcast-from-s");
+    let stream = &streams[inst.s()];
+    // best_before[x][j] = min over segments < x of the broadcast summary.
+    let ell = lanes.len();
+    let mut summary = vec![vec![Dist::INF; k]; ell];
+    for &(seg, j, d) in stream {
+        let cell = &mut summary[seg as usize][j as usize];
+        *cell = (*cell).min(Dist::new(d));
+    }
+    let mut best_before = vec![vec![Dist::INF; k]; ell + 1];
+    for x in 0..ell {
+        for j in 0..k {
+            best_before[x + 1][j] = best_before[x][j].min(summary[x][j]);
+        }
+    }
+    // Local combine at each v_i.
+    (0..h)
+        .map(|i| {
+            let lane = (i / params.zeta).min(ell - 1);
+            let pos = i - cps[lane];
+            (0..k)
+                .map(|j| m_seg[lane][pos][j].min(best_before[lane][j]))
+                .collect()
+        })
+        .collect()
+}
+
+/// Lemma 5.9 (Part 2): returns `out[i][j] = |l_j·t ⋄ P[s, v_{i+1}]|`,
+/// *already shifted* so that index `i` holds the value `v_i` needs, i.e.
+/// `min over u ≥ v_{i+1} of (|l_j·u|_{G\P} + |u·t|)`.
+pub fn distances_to_t(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+    ld: &LandmarkDistances,
+    tree: &BfsTree,
+    suffix: &[Dist],
+) -> Vec<Vec<Dist>> {
+    let h = inst.hops();
+    let k = ld.landmarks.len();
+    let cps = checkpoints(h, params.zeta);
+    let lanes = backward_lanes(inst, &cps);
+    let ell = lanes.len();
+    // Mirrored Lemma 5.7: suffix sweeps within each segment.
+    let input = |lane: usize, pos: usize, j: usize| -> Dist {
+        let global = cps[lane + 1] - pos;
+        let v = inst.path.node(global);
+        ld.from_landmark[j][v] + suffix[global]
+    };
+    let (m_seg, _) = prefix_sweep(net, &lanes, k, &input, "long/sweep-to-t");
+    // Broadcast each segment's value at its *left* checkpoint (the lane's
+    // last position).
+    let mut items: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); inst.n()];
+    for (li, lane) in lanes.iter().enumerate() {
+        let last = lane.nodes.len() - 1;
+        let origin = lane.nodes[last];
+        for j in 0..k {
+            if let Some(d) = m_seg[li][last][j].finite() {
+                items[origin].push((li as u32, j as u32, d));
+            }
+        }
+    }
+    let (streams, _) = broadcast(net, tree, items, bits_of_summary, "long/broadcast-to-t");
+    let stream = &streams[inst.s()];
+    let mut summary = vec![vec![Dist::INF; k]; ell];
+    for &(seg, j, d) in stream {
+        let cell = &mut summary[seg as usize][j as usize];
+        *cell = (*cell).min(Dist::new(d));
+    }
+    // best_after[x][j] = min over segments > x.
+    let mut best_after = vec![vec![Dist::INF; k]; ell + 1];
+    for x in (0..ell).rev() {
+        for j in 0..k {
+            best_after[x][j] = best_after[x + 1][j].min(summary[x][j]);
+        }
+    }
+    // N[p][j] for path positions p (what v_p knows).
+    let n_at: Vec<Vec<Dist>> = (0..=h)
+        .map(|p| {
+            let lane = (p / params.zeta).min(ell - 1);
+            let pos = cps[lane + 1] - p;
+            (0..k)
+                .map(|j| m_seg[lane][pos][j].min(best_after[lane + 1][j]))
+                .collect()
+        })
+        .collect();
+    // The O(|L|)-round shift: v_{i+1} hands its N row to v_i across the
+    // path edge (one value per round, all edges in parallel).
+    let shift_lanes: Vec<Lane> = (0..h)
+        .map(|i| {
+            Lane::backward(
+                vec![inst.path.node(i + 1), inst.path.node(i)],
+                vec![inst.path.edge(i)],
+            )
+        })
+        .collect();
+    let shift_input = |lane: usize, pos: usize, j: usize| -> Dist {
+        if pos == 0 {
+            n_at[lane + 1][j]
+        } else {
+            Dist::INF
+        }
+    };
+    let (shifted, _) = prefix_sweep(net, &shift_lanes, k, &shift_input, "long/shift");
+    (0..h).map(|i| shifted[i][1].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::long::landmarks;
+    use congest::bfs_tree::build_bfs_tree;
+    use graphkit::alg::{bfs, bfs_reverse};
+    use graphkit::gen::{parallel_lane, planted_path_digraph};
+    use graphkit::NodeId;
+
+    #[test]
+    fn checkpoint_layout() {
+        assert_eq!(checkpoints(10, 3), vec![0, 3, 6, 9, 10]);
+        assert_eq!(checkpoints(6, 3), vec![0, 3, 6]);
+        assert_eq!(checkpoints(2, 5), vec![0, 2]);
+        assert_eq!(checkpoints(1, 1), vec![0, 1]);
+    }
+
+    /// Oracle for |s·l_j ⋄ P[v_i, t]| by direct minimization over exact
+    /// distances in G \ P.
+    fn oracle_m(inst: &Instance<'_>, lms: &[NodeId]) -> Vec<Vec<Dist>> {
+        let exact: Vec<Vec<Dist>> = lms
+            .iter()
+            .map(|&l| bfs_reverse(inst.graph, l, |e| inst.in_g_minus_p(e)))
+            .collect();
+        (0..inst.hops())
+            .map(|i| {
+                lms.iter()
+                    .enumerate()
+                    .map(|(j, _)| {
+                        (0..=i)
+                            .map(|u| inst.prefix[u] + exact[j][inst.path.node(u)])
+                            .min()
+                            .unwrap_or(Dist::INF)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn oracle_n(inst: &Instance<'_>, lms: &[NodeId]) -> Vec<Vec<Dist>> {
+        let exact: Vec<Vec<Dist>> = lms
+            .iter()
+            .map(|&l| bfs(inst.graph, l, |e| inst.in_g_minus_p(e)))
+            .collect();
+        let h = inst.hops();
+        (0..h)
+            .map(|i| {
+                lms.iter()
+                    .enumerate()
+                    .map(|(j, _)| {
+                        (i + 1..=h)
+                            .map(|u| exact[j][inst.path.node(u)] + inst.suffix[u])
+                            .min()
+                            .unwrap_or(Dist::INF)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn setup(
+        h: usize,
+        zeta: usize,
+        seed: u64,
+    ) -> (graphkit::DiGraph, usize, usize, Params) {
+        let (g, s, t) = planted_path_digraph(3 * h + 10, h, 6 * h, seed);
+        let params = Params::with_zeta(3 * h + 10, zeta);
+        (g, s, t, params)
+    }
+
+    #[test]
+    fn part1_matches_oracle_with_full_landmarks() {
+        for seed in 0..4 {
+            let (g, s, t, mut params) = setup(12, 4, seed);
+            params.landmark_prob = 1.0;
+            let inst = Instance::from_endpoints(&g, s, t).unwrap();
+            let lms = landmarks::sample(&inst, &params);
+            let mut net = Network::new(inst.graph);
+            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
+            let got = distances_from_s(&mut net, &inst, &params, &ld, &tree, &inst.prefix);
+            assert_eq!(got, oracle_m(&inst, &lms), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn part2_matches_oracle_with_full_landmarks() {
+        for seed in 0..4 {
+            let (g, s, t, mut params) = setup(12, 4, seed + 10);
+            params.landmark_prob = 1.0;
+            let inst = Instance::from_endpoints(&g, s, t).unwrap();
+            let lms = landmarks::sample(&inst, &params);
+            let mut net = Network::new(inst.graph);
+            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
+            let got = distances_to_t(&mut net, &inst, &params, &ld, &tree, &inst.suffix);
+            assert_eq!(got, oracle_n(&inst, &lms), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn segment_boundaries_are_covered() {
+        // ζ = 1: every vertex is a checkpoint; stresses lane boundaries.
+        let (g, s, t) = parallel_lane(6, 2, 1);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::with_zeta(inst.n(), 1);
+        params.landmark_prob = 1.0;
+        let lms = landmarks::sample(&inst, &params);
+        let mut net = Network::new(inst.graph);
+        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
+        let got_m = distances_from_s(&mut net, &inst, &params, &ld, &tree, &inst.prefix);
+        let got_n = distances_to_t(&mut net, &inst, &params, &ld, &tree, &inst.suffix);
+        // ζ = 1 hop-bounds the landmark BFS to single edges; with every
+        // vertex a landmark the closure still recovers exact distances.
+        assert_eq!(got_m, oracle_m(&inst, &lms));
+        assert_eq!(got_n, oracle_n(&inst, &lms));
+    }
+}

@@ -1,0 +1,189 @@
+//! Lemmas 4.3 and 4.4: from `f*` tables to per-edge short-detour answers.
+
+use congest::pipeline::{diagonal_dp, Lane};
+use congest::Network;
+use graphkit::Dist;
+
+use crate::short::hop_bfs::FStar;
+use crate::Instance;
+
+/// Lemma 4.3 (local computation): turns `f*_{v_i}` into the table
+/// `X[i, ≥ i+d]` for `d = 1..=ζ`.
+///
+/// `X[i, ≥ j]` is the shortest length of a replacement path with a short
+/// detour that starts precisely at `v_i` and ends at `v_{j'}` for some
+/// `j' ≥ j`. The recurrence (proved in the paper) is
+///
+/// ```text
+/// X[i, ≥ j] = min( X[i, ≥ j+1],  h_st − (j−i) + h*(i, j) )
+/// h*(i, j)  = min { d ∈ [ζ] : f*_{v_i}(d) = j }
+/// ```
+///
+/// Returns `x_ge[i][d-1] = X[i, ≥ i+d]`.
+pub fn x_ge_tables(inst: &Instance<'_>, fstar: &FStar, zeta: usize) -> Vec<Vec<Dist>> {
+    let h = inst.hops();
+    (0..=h)
+        .map(|i| {
+            // h_first[j - i - 1] = h*(i, j) for j in i+1 ..= min(i+ζ, h).
+            let span = zeta.min(h - i);
+            let mut h_first = vec![u64::MAX; span];
+            for d in 1..=zeta {
+                if let Some((j, _)) = fstar.table[i][d] {
+                    if j > i && j <= i + span {
+                        let slot = &mut h_first[j - i - 1];
+                        if *slot == u64::MAX {
+                            *slot = d as u64;
+                        }
+                    }
+                }
+            }
+            let mut out = vec![Dist::INF; zeta];
+            let mut running = Dist::INF;
+            for d in (1..=span).rev() {
+                if h_first[d - 1] != u64::MAX {
+                    let candidate = Dist::new(h as u64 - d as u64 + h_first[d - 1]);
+                    running = running.min(candidate);
+                }
+                out[d - 1] = running;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Lemma 4.4: the (ζ−1)-round systolic DP along `P` that turns
+/// `X[i, ≥ j]` into `X[≤ i, ≥ i+1]`, the short-detour replacement length
+/// for edge `(v_i, v_{i+1})`.
+///
+/// As derived in the paper, with `G(i, c) = X[≤ i, ≥ i+c]`:
+///
+/// ```text
+/// G(i, ζ)    = X[i, ≥ i+ζ]                         (base, local)
+/// G(i, c)    = min( G(i−1, c+1),  X[i, ≥ i+c] )    (one round per step)
+/// ```
+///
+/// which is exactly one [`diagonal_dp`] run with `rounds = ζ − 1`.
+pub fn pipeline_dp(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    x_ge: &[Vec<Dist>],
+    zeta: usize,
+) -> Vec<Dist> {
+    let h = inst.hops();
+    let lane = Lane::forward(inst.path.nodes().to_vec(), inst.path.edges().to_vec());
+    let (cur, _) = diagonal_dp(
+        net,
+        &lane,
+        |i| x_ge[i][zeta - 1],
+        &|i, step| {
+            let c = zeta as u64 - step; // c = ζ − r, down to 1
+            debug_assert!(c >= 1);
+            x_ge[i][(c - 1) as usize]
+        },
+        zeta as u64 - 1,
+        "short/pipeline-dp",
+    );
+    cur[..h].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::short::hop_bfs::{hop_constrained_bfs, HopBfsConfig, Objective};
+    use crate::{Instance, Params};
+    use graphkit::alg::{bfs_hop_bounded, replacement_lengths};
+    use graphkit::gen::planted_path_digraph;
+
+    /// Centralized X[i, >= j]: enumerate exact detour endpoints by
+    /// hop-bounded BFS from each v_i in G \ P.
+    fn reference_x_ge(inst: &Instance<'_>, zeta: usize) -> Vec<Vec<Dist>> {
+        let h = inst.hops();
+        let g = inst.graph;
+        (0..=h)
+            .map(|i| {
+                let from_vi = bfs_hop_bounded(
+                    g,
+                    &[inst.path.node(i)],
+                    zeta,
+                    |e| !inst.is_path_edge[e],
+                );
+                // X[i, j] = h - (j - i) + detour(i, j), detour <= ζ hops.
+                let mut out = vec![Dist::INF; zeta];
+                for d in (1..=zeta.min(h - i)).rev() {
+                    let j = i + d;
+                    let mut best = if d < zeta.min(h - i) {
+                        out[d] // X[i, >= j+1]
+                    } else {
+                        Dist::INF
+                    };
+                    if let Some(det) = from_vi[inst.path.node(j)].finite() {
+                        best = best.min(Dist::new(h as u64 - d as u64 + det));
+                    }
+                    out[d - 1] = best;
+                }
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn x_ge_matches_reference() {
+        for seed in 0..6 {
+            let (g, s, t) = planted_path_digraph(40, 12, 100, seed);
+            let inst = Instance::from_endpoints(&g, s, t).unwrap();
+            let zeta = 8;
+            let aux: Vec<u64> = (0..=inst.hops())
+                .map(|j| inst.suffix[j].finite().unwrap())
+                .collect();
+            let cfg = HopBfsConfig {
+                zeta,
+                objective: Objective::MaxIndex,
+                delays: None,
+                aux: &aux,
+            };
+            let mut net = Network::new(inst.graph);
+            let fstar = hop_constrained_bfs(&mut net, &inst, &cfg, "test");
+            let got = x_ge_tables(&inst, &fstar, zeta);
+            let want = reference_x_ge(&inst, zeta);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_pipeline_on_planted_graphs() {
+        for seed in 0..6 {
+            let (g, s, t) = planted_path_digraph(40, 14, 120, seed + 50);
+            let inst = Instance::from_endpoints(&g, s, t).unwrap();
+            let params = Params::with_zeta(inst.n(), inst.n());
+            let mut net = Network::new(inst.graph);
+            let got = crate::short::solve_short(&mut net, &inst, &params);
+            let want = replacement_lengths(&g, &inst.path);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zeta_one_sees_only_single_hop_detours() {
+        // Graph: edge 0 -> 2 (the shortest path, 1 hop) plus the 2-hop
+        // route 0 -> 1 -> 2. The only replacement detour has 2 hops.
+        let mut b = graphkit::GraphBuilder::new(3);
+        b.add_arc(0, 1);
+        b.add_arc(1, 2);
+        b.add_arc(0, 2);
+        let g = b.build();
+        let inst = Instance::from_endpoints(&g, 0, 2).unwrap();
+        assert_eq!(inst.hops(), 1);
+        let want = replacement_lengths(&g, &inst.path);
+        assert_eq!(want, vec![Dist::new(2)]);
+
+        // ζ = 1 cannot see the 2-hop detour.
+        let mut net = Network::new(inst.graph);
+        let got1 = crate::short::solve_short(&mut net, &inst, &Params::with_zeta(3, 1));
+        assert_eq!(got1, vec![Dist::INF]);
+
+        // ζ = 2 can.
+        let mut net = Network::new(inst.graph);
+        let got2 = crate::short::solve_short(&mut net, &inst, &Params::with_zeta(3, 2));
+        assert_eq!(got2, want);
+    }
+}

@@ -1,0 +1,172 @@
+//! Section 7.1: the rounding graphs `G_d`.
+//!
+//! For a scale `d` and unit `µ_d = ε·d/(2·hb)` (where `hb` is the hop
+//! budget — ζ for short detours, also ζ for the landmark BFS), every edge
+//! `e ∈ G \ P` becomes a path of `⌈w(e)/µ_d⌉` unit edges. Lengths in
+//! `G_d` are integers in units of `µ_d`; we keep them as *scaled
+//! numerators* over the common denominator `den = 2·hb·eps_den`, so one
+//! `G_d` hop contributes `eps_num·d` to the numerator. All arithmetic is
+//! exact.
+
+use graphkit::DiGraph;
+
+use crate::Params;
+
+/// One rounding scale `d` with its precomputed edge delays.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// The scale `d` (detour lengths in `[d/2, d]` are approximated well).
+    pub d: u64,
+    /// Per-edge delay `⌈w(e)/µ_d⌉`, with `0` marking edges unusable at
+    /// this scale (delay would exceed the hop cap, so no target detour
+    /// could use them anyway).
+    pub delays: Vec<u64>,
+    /// Numerator contribution of one `G_d` hop: `eps_num · d`
+    /// (denominator [`ScaleSet::den`]).
+    pub hop_value: u64,
+}
+
+/// All scales `d = 2, 4, ..., 2^⌈log₂(max length)⌉` for one run.
+#[derive(Clone, Debug)]
+pub struct ScaleSet {
+    /// The scales in increasing order of `d`.
+    pub scales: Vec<Scale>,
+    /// Common denominator of all scaled lengths: `2·hb·eps_den`.
+    pub den: u64,
+    /// Hop cap `ζ* = hb·(1 + 2/ε)` (exactly: `hb + ⌈2·hb·eps_den/eps_num⌉`).
+    pub hop_cap: u64,
+}
+
+impl ScaleSet {
+    /// Builds the scale set for hop budget `hb` on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hb == 0`.
+    pub fn build(graph: &DiGraph, params: &Params, hb: u64) -> ScaleSet {
+        assert!(hb >= 1);
+        let (en, ed) = (params.eps_num, params.eps_den);
+        let den = 2 * hb * ed;
+        let hop_cap = hb + (2 * hb * ed).div_ceil(en);
+        // Upper bound on any path length: total edge weight.
+        let max_len = graph.total_weight().max(1);
+        let mut scales = Vec::new();
+        let mut d = 2u64;
+        loop {
+            // delay(e) = ⌈w·den / (en·d)⌉ = ⌈w / µ_d⌉.
+            let unit = en * d; // µ_d numerator over den
+            let delays: Vec<u64> = graph
+                .edges()
+                .map(|(_, e)| {
+                    let delay = (e.weight * den).div_ceil(unit);
+                    if delay > hop_cap {
+                        0 // unusable at this scale
+                    } else {
+                        delay
+                    }
+                })
+                .collect();
+            scales.push(Scale {
+                d,
+                delays,
+                hop_value: unit,
+            });
+            if d >= 2 * max_len {
+                break;
+            }
+            d *= 2;
+        }
+        ScaleSet {
+            scales,
+            den,
+            hop_cap,
+        }
+    }
+
+    /// Scaled numerator of an exact integer length (e.g. a prefix
+    /// distance along `P`).
+    pub fn scale_exact(&self, len: u64) -> u64 {
+        len * self.den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::GraphBuilder;
+
+    fn params_eps(num: u64, den: u64) -> Params {
+        Params::with_zeta(100, 10).with_eps(num, den)
+    }
+
+    fn graph_with_weights(ws: &[u64]) -> DiGraph {
+        let mut b = GraphBuilder::new(ws.len() + 1);
+        for (i, &w) in ws.iter().enumerate() {
+            b.add_edge(i, i + 1, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn delay_rounds_up() {
+        let g = graph_with_weights(&[7]);
+        let p = params_eps(1, 2); // ε = 1/2
+        let hb = 10;
+        let set = ScaleSet::build(&g, &p, hb);
+        // den = 2·10·2 = 40; at d = 2: µ = 2/40 = 1/20; delay = ⌈7·20⌉ = 140
+        // which exceeds hop_cap = 10 + 40/1... hop_cap = 10 + ⌈40/1⌉ = 50,
+        // so the edge is disabled at d = 2.
+        assert_eq!(set.den, 40);
+        assert_eq!(set.hop_cap, 50);
+        assert_eq!(set.scales[0].d, 2);
+        assert_eq!(set.scales[0].delays[0], 0);
+        // At d = 16: µ = 16/40 = 2/5; delay = ⌈7·5/2⌉ = ⌈17.5⌉ = 18 <= 50.
+        let s16 = set.scales.iter().find(|s| s.d == 16).unwrap();
+        assert_eq!(s16.delays[0], 18);
+    }
+
+    #[test]
+    fn scales_cover_total_weight() {
+        let g = graph_with_weights(&[100, 200, 300]);
+        let p = params_eps(1, 2);
+        let set = ScaleSet::build(&g, &p, 5);
+        let max_d = set.scales.last().unwrap().d;
+        assert!(max_d >= 600, "largest scale {max_d} must cover total weight");
+    }
+
+    #[test]
+    fn hop_distance_overestimates_but_bounded() {
+        // Observation 7.3/7.4 at the arithmetic level: delay·µ >= w, and
+        // delay·µ <= w + µ.
+        let g = graph_with_weights(&[13, 5, 1]);
+        let p = params_eps(1, 3);
+        let set = ScaleSet::build(&g, &p, 7);
+        for sc in &set.scales {
+            for (id, e) in g.edges() {
+                let delay = sc.delays[id];
+                if delay == 0 {
+                    continue;
+                }
+                let scaled_len = delay * sc.hop_value; // numerator
+                let w_scaled = e.weight * set.den;
+                assert!(scaled_len >= w_scaled, "no shrink");
+                assert!(
+                    scaled_len < w_scaled + sc.hop_value,
+                    "overshoot below one unit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_delay_matches_formula_at_largest_scale() {
+        let g = graph_with_weights(&[1, 1]);
+        let p = params_eps(1, 2);
+        let set = ScaleSet::build(&g, &p, 10);
+        // den = 2·10·2 = 40; largest scale d = 4 (>= 2·total = 4);
+        // µ_4 = 4/40 = 1/10, so a unit edge subdivides into 10 hops.
+        let last = set.scales.last().unwrap();
+        assert_eq!(last.d, 4);
+        assert_eq!(last.delays, vec![10, 10]);
+    }
+}

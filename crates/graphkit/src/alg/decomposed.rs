@@ -1,0 +1,133 @@
+//! A centralized implementation of the paper's short/long detour
+//! decomposition (the skeleton shared by Roditty–Zwick's sequential
+//! algorithm and the paper's distributed one).
+//!
+//! This is *not* used by the distributed solvers — it exists as an
+//! independent second implementation of the same mathematical
+//! decomposition, so the test suite can triangulate: the per-edge BFS
+//! oracle, this decomposition, and the distributed algorithms must all
+//! agree. A bug in the shared reasoning (e.g. a wrong combine rule at
+//! segment boundaries) would show up as this module agreeing with the
+//! distributed code while both disagree with the oracle.
+
+use crate::alg::{bfs, bfs_reverse, hop_bounded_dists};
+use crate::{DiGraph, Dist, NodeId, StPath};
+
+/// Replacement lengths via the short/long detour decomposition with
+/// threshold `zeta` and an explicit landmark set.
+///
+/// - Short side: for every pair `(k, j)` with a `≤ ζ`-hop detour from
+///   `v_k` to `v_j` in `G \ P`, the candidate
+///   `|P[s,v_k]| + detour + |P[v_j,t]|` covers edges `k..j`.
+/// - Long side: for every landmark `l`, the candidate
+///   `min_{k ≤ i}(|P[s,v_k]| + |v_k·l|) + min_{j ≥ i+1}(|l·v_j| + |P[v_j,t]|)`.
+///
+/// The result is exact whenever every detour either has `≤ ζ` hops or
+/// contains a landmark — with `landmarks` = all vertices it is exact for
+/// every instance whose detours have at least one interior vertex, and
+/// with `zeta >= n` it is unconditionally exact (Lemma 5.3 made
+/// deterministic).
+pub fn decomposed_replacement(
+    graph: &DiGraph,
+    path: &StPath,
+    zeta: usize,
+    landmarks: &[NodeId],
+) -> Vec<Dist> {
+    let h = path.hops();
+    let in_gp = |e: usize| !path.contains_edge(e);
+    let prefix: Vec<Dist> = (0..=h).map(|i| path.prefix_length(graph, i)).collect();
+    let suffix: Vec<Dist> = (0..=h).map(|i| path.suffix_length(graph, i)).collect();
+    let mut best = vec![Dist::INF; h];
+
+    // Short detours.
+    for k in 0..h {
+        let from_vk = hop_bounded_dists(graph, path.node(k), zeta, in_gp);
+        for j in k + 1..=h {
+            let cand = prefix[k] + from_vk[path.node(j)] + suffix[j];
+            if !cand.is_finite() {
+                continue;
+            }
+            for slot in best.iter_mut().take(j).skip(k) {
+                *slot = (*slot).min(cand);
+            }
+        }
+    }
+
+    // Long detours through landmarks (exact, unbounded distances — a
+    // centralized program can afford them; the distributed algorithm
+    // recovers them w.h.p. through the closure of Lemma 5.4).
+    for &l in landmarks {
+        let to_l = bfs_reverse(graph, l, in_gp);
+        let from_l = bfs(graph, l, in_gp);
+        // m[i] = min_{k <= i} (prefix[k] + |v_k l|)
+        let mut m = Dist::INF;
+        let mut m_at = vec![Dist::INF; h];
+        for i in 0..h {
+            m = m.min(prefix[i] + to_l[path.node(i)]);
+            m_at[i] = m;
+        }
+        // n[i] = min_{j >= i+1} (|l v_j| + suffix[j])
+        let mut nn = Dist::INF;
+        let mut n_at = vec![Dist::INF; h];
+        for i in (0..h).rev() {
+            nn = nn.min(from_l[path.node(i + 1)] + suffix[i + 1]);
+            n_at[i] = nn;
+        }
+        for i in 0..h {
+            best[i] = best[i].min(m_at[i] + n_at[i]);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{replacement_lengths, shortest_st_path};
+    use crate::gen::{parallel_lane, planted_path_digraph};
+
+    #[test]
+    fn huge_zeta_alone_is_exact() {
+        for seed in 0..6 {
+            let (g, s, t) = planted_path_digraph(50, 15, 130, seed);
+            let p = shortest_st_path(&g, s, t).unwrap();
+            let got = decomposed_replacement(&g, &p, g.node_count(), &[]);
+            assert_eq!(got, replacement_lengths(&g, &p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_zeta_with_all_landmarks_is_exact_for_interior_detours() {
+        // ζ = 1 catches only single-edge detours; landmarks catch every
+        // detour with an interior vertex. Together: everything.
+        for seed in 0..6 {
+            let (g, s, t) = planted_path_digraph(50, 15, 130, seed + 10);
+            let p = shortest_st_path(&g, s, t).unwrap();
+            let all: Vec<NodeId> = g.nodes().collect();
+            let got = decomposed_replacement(&g, &p, 1, &all);
+            assert_eq!(got, replacement_lengths(&g, &p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mixed_regime_matches_oracle() {
+        let (g, s, t) = parallel_lane(20, 5, 2); // 12-hop detours
+        let p = shortest_st_path(&g, s, t).unwrap();
+        let all: Vec<NodeId> = g.nodes().collect();
+        for zeta in [1usize, 5, 12, 40] {
+            let got = decomposed_replacement(&g, &p, zeta, &all);
+            assert_eq!(got, replacement_lengths(&g, &p), "zeta {zeta}");
+        }
+    }
+
+    #[test]
+    fn short_side_alone_is_a_sound_upper_bound() {
+        let (g, s, t) = planted_path_digraph(40, 12, 90, 3);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        let oracle = replacement_lengths(&g, &p);
+        let got = decomposed_replacement(&g, &p, 3, &[]);
+        for (i, (&g_i, &o_i)) in got.iter().zip(&oracle).enumerate() {
+            assert!(g_i >= o_i, "edge {i}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Undirected diameter, the `D` of the paper's round bounds.
+//!
+//! The CONGEST model's `D` is the diameter of the *underlying undirected*
+//! communication graph, regardless of edge directions or weights.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, NodeId};
+
+/// Undirected eccentricity of `v`: the largest hop distance from `v` to
+/// any vertex reachable over undirected edges.
+///
+/// Returns `None` when some vertex is unreachable (disconnected
+/// communication graph).
+pub fn undirected_eccentricity(graph: &DiGraph, v: NodeId) -> Option<usize> {
+    let n = graph.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[v] = 0;
+    queue.push_back(v);
+    let mut reached = 1;
+    let mut ecc = 0;
+    while let Some(u) = queue.pop_front() {
+        for w in graph.undirected_neighbors(u) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[u] + 1;
+                ecc = ecc.max(dist[w]);
+                reached += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    (reached == n).then_some(ecc)
+}
+
+/// Exact undirected diameter via a BFS from every vertex; `O(n·m)`.
+///
+/// Returns `None` for a disconnected communication graph. Distributed
+/// algorithms in this workspace require a connected communication graph,
+/// so generators assert this.
+pub fn undirected_diameter(graph: &DiGraph) -> Option<usize> {
+    let mut best = 0;
+    for v in graph.nodes() {
+        best = best.max(undirected_eccentricity(graph, v)?);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn directed_cycle_has_small_undirected_diameter() {
+        let n = 8;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_arc(i, (i + 1) % n);
+        }
+        let g = b.build();
+        // Directed distance 0 -> 7 is 7, but undirected it is 1 hop.
+        assert_eq!(undirected_diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn path_diameter_is_length() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4 {
+            b.add_arc(i, i + 1);
+        }
+        let g = b.build();
+        assert_eq!(undirected_diameter(&g), Some(4));
+        assert_eq!(undirected_eccentricity(&g, 2), Some(2));
+    }
+
+    #[test]
+    fn disconnected_reports_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1);
+        let g = b.build();
+        assert_eq!(undirected_diameter(&g), None);
+        assert_eq!(undirected_eccentricity(&g, 0), None);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = GraphBuilder::new(1).build();
+        assert_eq!(undirected_diameter(&g), Some(0));
+    }
+}

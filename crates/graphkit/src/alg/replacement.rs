@@ -1,0 +1,118 @@
+//! Ground-truth replacement-paths oracle.
+//!
+//! This is the problem statement executed literally: for each edge `e` of
+//! `P`, delete `e` and recompute the `s`-`t` distance. It is the
+//! correctness reference for every distributed algorithm in the workspace
+//! (Definition 2.1 / 2.3 of the paper).
+
+use crate::alg::dijkstra;
+use crate::{DiGraph, Dist, StPath};
+
+/// `|st ⋄ e|` for every edge `e = (v_i, v_{i+1})` of `P`, in path order.
+///
+/// Entry `i` is the length of the shortest `s`-`t` path in `G \ (v_i,
+/// v_{i+1})`, or [`Dist::INF`] when removing that edge disconnects `t`
+/// from `s`.
+///
+/// # Examples
+///
+/// ```
+/// use graphkit::{alg::{replacement_lengths, shortest_st_path}, Dist, GraphBuilder};
+///
+/// // Triangle: 0 -> 1 -> 2 plus a back-up edge 0 -> 2 of weight 5.
+/// let mut b = GraphBuilder::new(3);
+/// b.add_arc(0, 1);
+/// b.add_arc(1, 2);
+/// b.add_edge(0, 2, 5);
+/// let g = b.build();
+/// let p = shortest_st_path(&g, 0, 2).unwrap();
+/// assert_eq!(replacement_lengths(&g, &p), vec![Dist::new(5), Dist::new(5)]);
+/// ```
+pub fn replacement_lengths(graph: &DiGraph, path: &StPath) -> Vec<Dist> {
+    let s = path.source();
+    let t = path.target();
+    path.edges()
+        .iter()
+        .map(|&banned| dijkstra(graph, s, |e| e != banned)[t])
+        .collect()
+}
+
+/// The 2-SiSP value (Definition 2.3): the minimum replacement length over
+/// all edges of `P`, i.e. the length of the second simple shortest path.
+pub fn second_simple_shortest(graph: &DiGraph, path: &StPath) -> Dist {
+    replacement_lengths(graph, path)
+        .into_iter()
+        .min()
+        .unwrap_or(Dist::INF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::shortest_st_path;
+    use crate::GraphBuilder;
+
+    /// Line 0..4 with a parallel "detour lane" 5,6,7 connected at both ends.
+    fn line_with_detour() -> (DiGraph, StPath) {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..4 {
+            b.add_arc(i, i + 1);
+        }
+        // detour: 0 -> 5 -> 6 -> 7 -> 4 (length 4 vs direct 4 hops)
+        b.add_arc(0, 5);
+        b.add_arc(5, 6);
+        b.add_arc(6, 7);
+        b.add_arc(7, 4);
+        let g = b.build();
+        let p = shortest_st_path(&g, 0, 4).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn detour_replaces_every_edge() {
+        let (g, p) = line_with_detour();
+        assert_eq!(p.hops(), 4);
+        let r = replacement_lengths(&g, &p);
+        assert_eq!(r, vec![Dist::new(4); 4]);
+        assert_eq!(second_simple_shortest(&g, &p), Dist::new(4));
+    }
+
+    #[test]
+    fn missing_detour_gives_infinity() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1);
+        b.add_arc(1, 2);
+        let g = b.build();
+        let p = shortest_st_path(&g, 0, 2).unwrap();
+        let r = replacement_lengths(&g, &p);
+        assert_eq!(r, vec![Dist::INF, Dist::INF]);
+        assert_eq!(second_simple_shortest(&g, &p), Dist::INF);
+    }
+
+    #[test]
+    fn parallel_edge_is_a_one_hop_replacement() {
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 1);
+        b.add_edge(0, 1, 3);
+        let g = b.build();
+        let p = shortest_st_path(&g, 0, 1).unwrap();
+        assert_eq!(replacement_lengths(&g, &p), vec![Dist::new(3)]);
+    }
+
+    #[test]
+    fn partial_detours_differ_per_edge() {
+        // 0 -> 1 -> 2 -> 3 with a shortcut 1 -> 3 of weight 3.
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1);
+        b.add_arc(1, 2);
+        b.add_arc(2, 3);
+        b.add_edge(1, 3, 3);
+        let g = b.build();
+        let p = shortest_st_path(&g, 0, 3).unwrap();
+        let r = replacement_lengths(&g, &p);
+        // Removing (0,1): no alternative at all.
+        // Removing (1,2) or (2,3): reroute via the shortcut, total 1 + 3.
+        assert_eq!(r, vec![Dist::INF, Dist::new(4), Dist::new(4)]);
+        assert_eq!(second_simple_shortest(&g, &p), Dist::new(4));
+    }
+}

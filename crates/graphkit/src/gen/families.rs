@@ -1,0 +1,285 @@
+//! Deterministic structured graph families.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// A path of `h` hops plus a parallel "lane" with switch points every
+/// `switch_every` hops, stretched by factor `stretch`; returns
+/// `(graph, s, t)`.
+///
+/// Vertices `0..=h` are the planted shortest path. The lane is a directed
+/// path of `h · stretch` edges; at every path index `i` that is a multiple
+/// of `switch_every` (and at `h`), bidirectional switch edges connect
+/// `v_i` with lane position `i · stretch`.
+///
+/// The replacement path for edge `(v_i, v_{i+1})` must ride the lane
+/// between the nearest switches around the failure, so its detour has
+/// `2 + gap · stretch` hops where `gap` is the switch spacing. Choosing
+/// `switch_every · stretch` below or above the short-detour threshold ζ
+/// moves instances between the paper's Section 4 and Section 5 regimes.
+///
+/// # Panics
+///
+/// Panics if `h == 0`, `switch_every == 0`, or `stretch == 0`.
+pub fn parallel_lane(h: usize, switch_every: usize, stretch: usize) -> (DiGraph, NodeId, NodeId) {
+    assert!(h >= 1 && switch_every >= 1 && stretch >= 1);
+    let lane_len = h * stretch;
+    let mut b = GraphBuilder::new(h + 1 + lane_len + 1);
+    for i in 0..h {
+        b.add_arc(i, i + 1);
+    }
+    let lane = |k: usize| h + 1 + k;
+    for k in 0..lane_len {
+        b.add_arc(lane(k), lane(k + 1));
+    }
+    let mut i = 0;
+    loop {
+        // Switch edges both ways keep the potential argument intact:
+        // entering or leaving the lane never advances towards t for free.
+        b.add_arc(i, lane(i * stretch));
+        b.add_arc(lane(i * stretch), i);
+        if i == h {
+            break;
+        }
+        i = (i + switch_every).min(h);
+    }
+    (b.build(), 0, h)
+}
+
+/// Directed grid with rightward and downward edges; returns
+/// `(graph, s, t)` with `s` the top-left and `t` the bottom-right corner.
+///
+/// Every monotone staircase is a shortest path, so replacement paths are
+/// plentiful and short — a stress test for the short-detour machinery.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid(rows: usize, cols: usize) -> (DiGraph, NodeId, NodeId) {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = GraphBuilder::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_arc(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_arc(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    (b.build(), at(0, 0), at(rows - 1, cols - 1))
+}
+
+/// Layered DAG: `s`, then `layers` layers of `width` vertices, then `t`;
+/// returns `(graph, s, t)`.
+///
+/// Each vertex has at least one incoming edge from the previous layer
+/// (connectivity), the "spine" `s -> layer_0[0] -> layer_1[0] -> ... -> t`
+/// always exists (reachability), and `extra_edges` additional random
+/// forward edges create alternative routes. All `s`-`t` paths have exactly
+/// `layers + 1` hops, so any of them is a valid `P`.
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or `width == 0`.
+pub fn layered_dag(
+    layers: usize,
+    width: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> (DiGraph, NodeId, NodeId) {
+    assert!(layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 + layers * width;
+    let mut b = GraphBuilder::new(n);
+    let s = 0;
+    let t = n - 1;
+    let at = |l: usize, w: usize| 1 + l * width + w;
+    for w in 0..width {
+        b.add_arc(s, at(0, w));
+    }
+    for l in 1..layers {
+        for w in 0..width {
+            let src = if w == 0 { 0 } else { rng.gen_range(0..width) };
+            b.add_arc(at(l - 1, src), at(l, w));
+        }
+    }
+    for w in 0..width {
+        b.add_arc(at(layers - 1, w), t);
+    }
+    for _ in 0..extra_edges {
+        if layers < 2 {
+            break;
+        }
+        let l = rng.gen_range(0..layers - 1);
+        let u = rng.gen_range(0..width);
+        let v = rng.gen_range(0..width);
+        b.add_arc(at(l, u), at(l + 1, v));
+    }
+    (b.build(), s, t)
+}
+
+/// The Ω(D) lower-bound family from the proof of Theorem 2.
+#[derive(Clone, Debug)]
+pub struct Theorem2Instance {
+    /// The constructed graph.
+    pub graph: DiGraph,
+    /// Source vertex.
+    pub s: NodeId,
+    /// Target vertex.
+    pub t: NodeId,
+    /// Vertex sequence of the length-`d` shortest path (the input `P`).
+    pub short_path: Vec<NodeId>,
+    /// Expected 2-SiSP value: `Some(d + 1)` when the long path is intact,
+    /// `None` (infinite) when one of its edges was reversed.
+    pub expected_sisp: Option<u64>,
+}
+
+/// Builds the Theorem 2 construction: two parallel directed `s`-`t` paths
+/// of lengths `d` and `d + 1`, with optionally one edge of the longer path
+/// reversed.
+///
+/// Distinguishing "second path length `d+1`" from "no second path"
+/// requires information to travel the length of the construction, giving
+/// the Ω(D) term of the lower bound. The graph has `2d + 1` vertices and
+/// undirected diameter `Θ(d)`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `reversed_edge` is out of range (`>= d + 1`).
+pub fn theorem2_family(d: usize, reversed_edge: Option<usize>) -> Theorem2Instance {
+    assert!(d >= 2, "need d >= 2 for two internally disjoint paths");
+    if let Some(i) = reversed_edge {
+        assert!(i < d + 1, "the long path has d + 1 edges");
+    }
+    // Vertices: s = 0, t = 1, short internals 2..d+1 (d - 1 of them),
+    // long internals d+1..2d+1 (d of them). Total 2d + 1.
+    let mut b = GraphBuilder::new(2 * d + 1);
+    let s = 0;
+    let t = 1;
+    let short = |k: usize| 2 + (k - 1); // k in 1..=d-1
+    let long = |k: usize| (d + 1) + (k - 1); // k in 1..=d
+
+    let mut short_path = vec![s];
+    // Short path: s -> short(1) -> ... -> short(d-1) -> t  (d edges).
+    let mut prev = s;
+    for k in 1..d {
+        b.add_arc(prev, short(k));
+        short_path.push(short(k));
+        prev = short(k);
+    }
+    b.add_arc(prev, t);
+    short_path.push(t);
+
+    // Long path: s -> long(1) -> ... -> long(d) -> t  (d + 1 edges).
+    let mut long_nodes = vec![s];
+    long_nodes.extend((1..=d).map(long));
+    long_nodes.push(t);
+    for (i, w) in long_nodes.windows(2).enumerate() {
+        if reversed_edge == Some(i) {
+            b.add_arc(w[1], w[0]);
+        } else {
+            b.add_arc(w[0], w[1]);
+        }
+    }
+
+    Theorem2Instance {
+        graph: b.build(),
+        s,
+        t,
+        short_path,
+        expected_sisp: if reversed_edge.is_none() {
+            Some(d as u64 + 1)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{
+        replacement_lengths, second_simple_shortest, shortest_st_path, undirected_diameter,
+    };
+    use crate::{Dist, StPath};
+
+    #[test]
+    fn parallel_lane_planted_path_is_shortest() {
+        let (g, s, t) = parallel_lane(12, 3, 2);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        assert_eq!(p.hops(), 12);
+        assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn parallel_lane_replacement_lengths_follow_switches() {
+        let h = 12;
+        let (c, stretch) = (3, 2);
+        let (g, s, t) = parallel_lane(h, c, stretch);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        let r = replacement_lengths(&g, &p);
+        for (i, &len) in r.iter().enumerate() {
+            // Nearest switches around edge (i, i+1).
+            let a = (i / c) * c;
+            let bnd = ((i / c + 1) * c).min(h);
+            let gap = (bnd - a) as u64;
+            let expected = (h as u64) - gap + 2 + gap * stretch as u64;
+            assert_eq!(len, Dist::new(expected), "edge {i}");
+        }
+    }
+
+    #[test]
+    fn grid_has_many_shortest_paths() {
+        let (g, s, t) = grid(4, 5);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        assert_eq!(p.hops(), 3 + 4);
+        let r = replacement_lengths(&g, &p);
+        // Interior failures reroute at equal length; only the corners can
+        // be pinch points depending on the extracted path.
+        assert!(r.iter().any(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn layered_dag_paths_have_uniform_length() {
+        let (g, s, t) = layered_dag(6, 4, 30, 3);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        assert_eq!(p.hops(), 7);
+        assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn theorem2_intact_long_path() {
+        let inst = theorem2_family(6, None);
+        assert_eq!(inst.graph.node_count(), 13);
+        let p = StPath::from_nodes(&inst.graph, &inst.short_path).unwrap();
+        assert!(p.validate_shortest(&inst.graph).is_ok());
+        assert_eq!(
+            second_simple_shortest(&inst.graph, &p),
+            Dist::new(inst.expected_sisp.unwrap())
+        );
+    }
+
+    #[test]
+    fn theorem2_reversed_edge_kills_second_path() {
+        for rev in [0, 3, 6] {
+            let inst = theorem2_family(6, Some(rev));
+            let p = StPath::from_nodes(&inst.graph, &inst.short_path).unwrap();
+            assert_eq!(second_simple_shortest(&inst.graph, &p), Dist::INF);
+        }
+    }
+
+    #[test]
+    fn theorem2_diameter_scales_with_d() {
+        let small = theorem2_family(4, None);
+        let large = theorem2_family(16, None);
+        let ds = undirected_diameter(&small.graph).unwrap();
+        let dl = undirected_diameter(&large.graph).unwrap();
+        assert!(dl > ds);
+        assert!(dl >= 16 / 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Random graph generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::alg::bfs;
+use crate::{DiGraph, GraphBuilder, NodeId};
+
+/// Random directed multigraph on `n` vertices with roughly `extra_edges`
+/// random edges on top of a connectivity backbone.
+///
+/// The backbone is a random spanning tree with randomly oriented edges, so
+/// the underlying undirected graph is always connected while directed
+/// reachability stays non-trivial.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_digraph(n: usize, extra_edges: usize, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    add_random_backbone(&mut b, n, &mut rng);
+    let mut added = 0;
+    while added < extra_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        b.add_arc(u, v);
+        added += 1;
+    }
+    b.build()
+}
+
+/// Random weighted directed multigraph; weights are uniform in
+/// `1..=max_weight`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_weight == 0`.
+pub fn random_weighted_digraph(n: usize, extra_edges: usize, max_weight: u64, seed: u64) -> DiGraph {
+    assert!(max_weight > 0, "max_weight must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    add_random_backbone_weighted(&mut b, n, max_weight, &mut rng);
+    let mut added = 0;
+    while added < extra_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        b.add_edge(u, v, rng.gen_range(1..=max_weight));
+        added += 1;
+    }
+    b.build()
+}
+
+/// Random unweighted digraph with a planted shortest `s`-`t` path of
+/// exactly `h` hops; returns `(graph, s, t)` with `s = 0`, `t = h`.
+///
+/// Vertices `0..=h` form the path. Every vertex `v` carries a potential
+/// `pot(v)` (equal to its index for path vertices) and random edges
+/// `u -> v` are only added when `pot(v) <= pot(u) + 1`. Any `s`-`t` path
+/// must then raise the potential from `0` to `h` by at most one per hop,
+/// so no path shorter than `h` hops exists and the planted path stays
+/// shortest. Detours of all lengths remain possible (potential may also
+/// *decrease* along an edge), which exercises both the short- and
+/// long-detour machinery.
+///
+/// # Panics
+///
+/// Panics if `h == 0` or `n < h + 1`.
+pub fn planted_path_digraph(
+    n: usize,
+    h: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> (DiGraph, NodeId, NodeId) {
+    assert!(h >= 1, "path must have at least one edge");
+    assert!(n >= h + 1, "need at least h + 1 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Path vertices 0..=h with pot(i) = i.
+    let mut pot = vec![0usize; n];
+    for (i, p) in pot.iter_mut().enumerate().take(h + 1) {
+        *p = i;
+    }
+    for i in 0..h {
+        b.add_arc(i, i + 1);
+    }
+    // Off-path vertices get a random potential and an attachment edge that
+    // keeps the communication graph connected.
+    for v in h + 1..n {
+        let p = rng.gen_range(0..=h);
+        pot[v] = p;
+        // Edge v_p -> v is allowed (pot(v) = p <= p + 1).
+        b.add_arc(p, v);
+    }
+    let mut added = 0;
+    let mut attempts = 0usize;
+    while added < extra_edges && attempts < extra_edges.saturating_mul(50) + 1000 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || pot[v] > pot[u] + 1 {
+            continue;
+        }
+        // Skip duplicates of planted path edges to keep h_st well defined
+        // (a parallel copy of a path edge would be a 1-hop replacement,
+        // which is fine, so allow it; only self-loops are rejected above).
+        b.add_arc(u, v);
+        added += 1;
+    }
+    let g = b.build();
+    debug_assert_eq!(
+        bfs(&g, 0, |_| true)[h].finite(),
+        Some(h as u64),
+        "planted path must be shortest"
+    );
+    (g, 0, h)
+}
+
+/// Picks a reachable `(s, t)` pair with a large directed distance by
+/// sampling a handful of BFS trees. Returns `None` when no vertex reaches
+/// another.
+pub fn random_reachable_pair(graph: &DiGraph, seed: u64) -> Option<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.node_count();
+    if n < 2 {
+        return None;
+    }
+    let mut candidates: Vec<NodeId> = graph.nodes().collect();
+    candidates.shuffle(&mut rng);
+    let mut best: Option<(NodeId, NodeId, u64)> = None;
+    for &s in candidates.iter().take(8.min(n)) {
+        let dist = bfs(graph, s, |_| true);
+        for t in graph.nodes() {
+            if t == s {
+                continue;
+            }
+            if let Some(d) = dist[t].finite() {
+                if best.map_or(true, |(_, _, bd)| d > bd) {
+                    best = Some((s, t, d));
+                }
+            }
+        }
+    }
+    best.map(|(s, t, _)| (s, t))
+}
+
+fn add_random_backbone(b: &mut GraphBuilder, n: usize, rng: &mut StdRng) {
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let child = order[i];
+        let parent = order[rng.gen_range(0..i)];
+        if rng.gen_bool(0.5) {
+            b.add_arc(parent, child);
+        } else {
+            b.add_arc(child, parent);
+        }
+    }
+}
+
+fn add_random_backbone_weighted(b: &mut GraphBuilder, n: usize, max_w: u64, rng: &mut StdRng) {
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let child = order[i];
+        let parent = order[rng.gen_range(0..i)];
+        let w = rng.gen_range(1..=max_w);
+        if rng.gen_bool(0.5) {
+            b.add_edge(parent, child, w);
+        } else {
+            b.add_edge(child, parent, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{shortest_st_path, undirected_diameter};
+
+    #[test]
+    fn random_digraph_is_connected() {
+        for seed in 0..5 {
+            let g = random_digraph(40, 80, seed);
+            assert_eq!(g.node_count(), 40);
+            assert!(undirected_diameter(&g).is_some(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic() {
+        let a = random_digraph(30, 50, 7);
+        let c = random_digraph(30, 50, 7);
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn planted_path_has_exact_hops() {
+        for seed in 0..5 {
+            let (g, s, t) = planted_path_digraph(60, 20, 120, seed);
+            let p = shortest_st_path(&g, s, t).expect("s-t reachable");
+            assert_eq!(p.hops(), 20, "seed {seed}");
+            assert!(p.validate_shortest(&g).is_ok());
+            assert!(undirected_diameter(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn planted_path_minimal_sizes() {
+        let (g, s, t) = planted_path_digraph(2, 1, 0, 0);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        assert_eq!(p.hops(), 1);
+    }
+
+    #[test]
+    fn weighted_digraph_weights_in_range() {
+        let g = random_weighted_digraph(30, 60, 9, 3);
+        assert!(g.edges().all(|(_, e)| (1..=9).contains(&e.weight)));
+        assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn reachable_pair_is_reachable() {
+        let g = random_digraph(50, 100, 11);
+        let (s, t) = random_reachable_pair(&g, 1).expect("some pair reachable");
+        assert!(shortest_st_path(&g, s, t).is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! The base family `G(Γ, d, p)` of Das Sarma et al. [DHK+11] (Figure 1).
+//!
+//! `Γ` parallel paths of `dᵖ` vertices each, plus a `d`-ary tree of depth
+//! `p` whose `dᵖ` leaves connect to the matching position on every path.
+//! Alice sits at `α = u^p_0` (the leftmost leaf) and Bob at
+//! `β = u^p_{dᵖ−1}` (the rightmost): any fast algorithm must squeeze its
+//! communication through the tree, whose every edge sees `Θ(dp)`-fold
+//! congestion in the simulation lemma.
+
+use graphkit::{DiGraph, GraphBuilder, NodeId};
+
+/// The constructed `G(Γ, d, p)` with handles to its named vertices.
+#[derive(Clone, Debug)]
+pub struct GammaGraph {
+    /// The (undirected-ish: arcs carry no meaning here) graph.
+    pub graph: DiGraph,
+    /// `paths[ℓ][i]` = vertex `v^ℓ_i`.
+    pub paths: Vec<Vec<NodeId>>,
+    /// `tree[j][i]` = vertex `u^j_i` (depth `j`, index `i`).
+    pub tree: Vec<Vec<NodeId>>,
+    /// Alice's vertex `α = u^p_0`.
+    pub alpha: NodeId,
+    /// Bob's vertex `β = u^p_{dᵖ−1}`.
+    pub beta: NodeId,
+}
+
+/// Path length `dᵖ` (number of vertices per path).
+pub fn path_len(d: usize, p: usize) -> usize {
+    d.pow(p as u32)
+}
+
+/// Builds `G(Γ, d, p)`. Edges are inserted bidirectionally (two arcs) —
+/// the base family is undirected; the directed orientation only matters
+/// in the modified construction of [`crate::hard`].
+///
+/// # Panics
+///
+/// Panics if `gamma == 0`, `d < 2`, or `p == 0`.
+pub fn build(gamma: usize, d: usize, p: usize) -> GammaGraph {
+    assert!(gamma >= 1 && d >= 2 && p >= 1);
+    let dp = path_len(d, p);
+    let mut b = GraphBuilder::new(0);
+    let paths: Vec<Vec<NodeId>> = (0..gamma)
+        .map(|_| (0..dp).map(|_| b.add_node()).collect())
+        .collect();
+    for row in &paths {
+        for w in row.windows(2) {
+            b.add_bidirectional(w[0], w[1]);
+        }
+    }
+    let tree: Vec<Vec<NodeId>> = (0..=p)
+        .map(|j| (0..d.pow(j as u32)).map(|_| b.add_node()).collect())
+        .collect();
+    for j in 1..=p {
+        for i in 0..tree[j].len() {
+            b.add_bidirectional(tree[j - 1][i / d], tree[j][i]);
+        }
+    }
+    for i in 0..dp {
+        for row in &paths {
+            b.add_bidirectional(tree[p][i], row[i]);
+        }
+    }
+    let alpha = tree[p][0];
+    let beta = tree[p][dp - 1];
+    GammaGraph {
+        graph: b.build(),
+        paths,
+        tree,
+        alpha,
+        beta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::alg::undirected_diameter;
+
+    /// Observation 6.3: Γ·dᵖ + (d^{p+1}−1)/(d−1) vertices, diameter 2p+2.
+    #[test]
+    fn observation_6_3_vertex_count() {
+        for (gamma, d, p) in [(3, 2, 2), (4, 2, 3), (2, 3, 2), (6, 2, 4)] {
+            let g = build(gamma, d, p);
+            let dp = path_len(d, p);
+            let tree_size = (d.pow(p as u32 + 1) - 1) / (d - 1);
+            assert_eq!(
+                g.graph.node_count(),
+                gamma * dp + tree_size,
+                "Γ={gamma}, d={d}, p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn observation_6_3_diameter() {
+        for (gamma, d, p) in [(3, 2, 2), (4, 2, 3), (2, 3, 2)] {
+            let g = build(gamma, d, p);
+            let diam = undirected_diameter(&g.graph).expect("connected");
+            assert!(
+                diam <= 2 * p + 2,
+                "Γ={gamma}, d={d}, p={p}: diameter {diam} > 2p+2"
+            );
+            // And it is genuinely Θ(p): at least p (leaf to root).
+            assert!(diam >= p, "diameter {diam} < p = {p}");
+        }
+    }
+
+    #[test]
+    fn alpha_and_beta_are_opposite_leaves() {
+        let g = build(2, 2, 3);
+        assert_eq!(g.alpha, g.tree[3][0]);
+        assert_eq!(g.beta, g.tree[3][7]);
+        assert_ne!(g.alpha, g.beta);
+    }
+
+    #[test]
+    fn every_leaf_touches_every_path() {
+        let g = build(3, 2, 2);
+        let dp = path_len(2, 2);
+        for i in 0..dp {
+            let leaf = g.tree[2][i];
+            for row in &g.paths {
+                let target = row[i];
+                assert!(
+                    g.graph.successors(leaf).any(|v| v == target),
+                    "leaf {i} misses path vertex"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_have_dp_vertices() {
+        let g = build(5, 2, 3);
+        for row in &g.paths {
+            assert_eq!(row.len(), 8);
+        }
+    }
+}

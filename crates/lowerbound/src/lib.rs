@@ -1,0 +1,30 @@
+//! Section 6 of *Optimal Distributed Replacement Paths*: the
+//! `eΩ(n^{2/3} + D)` lower bound for 2-SiSP and RPaths.
+//!
+//! The lower bound is combinatorial: a family of graphs on which solving
+//! 2-SiSP forces `Θ(k²)` bits (the orientation of a complete bipartite
+//! graph on Bob's side) across a narrow cut to Alice's side. This crate
+//! builds every object in the proof and makes the argument *measurable*:
+//!
+//! - [`gamma`] — the base family `G(Γ, d, p)` of Das Sarma et al.
+//!   (Figure 1) with its Observation 6.3 properties.
+//! - [`hard`] — the paper's construction `G(k, d, p, φ)` and its directed
+//!   version `G(k, d, p, φ, M, x)` (Figure 2), with Observation 6.6.
+//! - [`lemma68`] — the replacement-path-length correspondence: for edge
+//!   `(s_{i−1}, s_i)`, the replacement length is exactly
+//!   the "good length" (`3k² + 2dᵖ + 4` under our hop count) iff
+//!   `M_{φ(i)} = 1 ∧ x_i = 1`, else strictly larger.
+//! - [`disjointness`] — the Lemma 6.9 reduction run end-to-end: encode
+//!   `(x, y)`, solve 2-SiSP with a real distributed algorithm, decode
+//!   `disj(x, y)`; with Alice/Bob cut-bit accounting that exhibits the
+//!   information bottleneck.
+//! - [`diameter_lb`] — the Ω(D) part of Theorem 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diameter_lb;
+pub mod disjointness;
+pub mod gamma;
+pub mod hard;
+pub mod lemma68;

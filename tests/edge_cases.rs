@@ -1,0 +1,227 @@
+//! Adversarial edge cases aimed at specific code paths of the
+//! distributed algorithms: ties, parallel edges, detours that revisit
+//! path vertices, minimal instances, and boundary thresholds.
+
+use graphkit::alg::replacement_lengths;
+use graphkit::{Dist, GraphBuilder, StPath};
+use rpaths_core::{unweighted, weighted, Instance, Params};
+
+fn full_params(n: usize, zeta: usize) -> Params {
+    let mut p = Params::with_zeta(n, zeta);
+    p.landmark_prob = 1.0;
+    p
+}
+
+fn assert_exact(g: &graphkit::DiGraph, inst: &Instance<'_>, zeta: usize) {
+    let out = unweighted::solve(inst, &full_params(inst.n(), zeta));
+    assert_eq!(out.replacement, replacement_lengths(g, &inst.path));
+}
+
+#[test]
+fn minimal_instance_single_edge_path() {
+    // h_st = 1 with a 2-hop alternative.
+    let mut b = GraphBuilder::new(3);
+    b.add_arc(0, 2);
+    b.add_arc(0, 1);
+    b.add_arc(1, 2);
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 2).unwrap();
+    assert_eq!(inst.hops(), 1);
+    for zeta in [1, 2, 3] {
+        assert_exact(&g, &inst, zeta);
+    }
+}
+
+#[test]
+fn parallel_edge_duplicates_of_path_edges() {
+    // Each path edge has a parallel copy: every replacement is trivial
+    // (same length as P), exercising 1-hop detours that start and end at
+    // adjacent path vertices.
+    let h = 6;
+    let mut b = GraphBuilder::new(h + 1);
+    for i in 0..h {
+        b.add_arc(i, i + 1);
+        b.add_arc(i, i + 1); // parallel copy
+    }
+    let g = b.build();
+    // The path must use specific edge ids; pick the even ones.
+    let p = StPath::new(&g, (0..h).map(|i| 2 * i).collect()).unwrap();
+    let inst = Instance::new(&g, p).unwrap();
+    let out = unweighted::solve(&inst, &full_params(inst.n(), 2));
+    assert_eq!(out.replacement, vec![Dist::new(h as u64); h]);
+}
+
+#[test]
+fn detours_through_path_vertices_are_legal() {
+    // A detour may *visit* path vertices as long as it avoids path
+    // edges: 0 -> 1 -> 2 -> 3 with detour 0 -> 2' -> 1' -> 3 where the
+    // detour passes through path vertex 2 (via non-path edges).
+    let mut b = GraphBuilder::new(5);
+    b.add_arc(0, 1);
+    b.add_arc(1, 2);
+    b.add_arc(2, 3);
+    // Non-path edges that hop across path vertices.
+    b.add_arc(0, 2); // skips v1 (non-path edge between path vertices!)
+    b.add_arc(2, 4);
+    b.add_arc(4, 3);
+    let g = b.build();
+    let p = StPath::from_nodes(&g, &[0, 1, 2, 3]).unwrap();
+    // 0 -> 2 direct would make P non-shortest... check: dist(0,3) via
+    // 0->2->3 is 2 < 3, so P = [0,1,2,3] is NOT shortest. Use
+    // from_endpoints instead and accept whatever shortest path exists.
+    assert!(p.validate_shortest(&g).is_err());
+    let inst = Instance::from_endpoints(&g, 0, 3).unwrap();
+    assert_exact(&g, &inst, g.node_count());
+}
+
+#[test]
+fn ties_everywhere_grid_with_equal_routes() {
+    let (g, s, t) = graphkit::gen::grid(4, 4);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    for zeta in [1, 2, 4, 16] {
+        assert_exact(&g, &inst, zeta);
+    }
+}
+
+#[test]
+fn long_cycle_detour_far_from_path() {
+    // The replacement must leave immediately and ride a huge loop.
+    let h = 5;
+    let loop_len = 40;
+    let mut b = GraphBuilder::new(h + 1 + loop_len);
+    for i in 0..h {
+        b.add_arc(i, i + 1);
+    }
+    let first_loop = h + 1;
+    b.add_arc(0, first_loop);
+    for i in 0..loop_len - 1 {
+        b.add_arc(first_loop + i, first_loop + i + 1);
+    }
+    b.add_arc(first_loop + loop_len - 1, h);
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, h).unwrap();
+    let oracle = replacement_lengths(&g, &inst.path);
+    assert!(oracle.iter().all(|d| d.finite() == Some(loop_len as u64 + 1)));
+    // ζ far below the detour length: pure long-detour territory.
+    assert_exact(&g, &inst, 3);
+}
+
+#[test]
+fn weighted_ties_and_heavy_parallel_edges() {
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1, 2);
+    b.add_edge(1, 2, 2);
+    b.add_edge(2, 3, 2);
+    b.add_edge(3, 4, 2);
+    // Bypass lanes of exactly tying weight.
+    b.add_edge(0, 2, 4);
+    b.add_edge(2, 4, 4);
+    // And a heavy full bypass.
+    b.add_edge(0, 4, 50);
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 4).unwrap();
+    let params = full_params(5, 2).with_eps(1, 10);
+    let out = weighted::solve(&inst, &params);
+    let oracle = replacement_lengths(&g, &inst.path);
+    out.check_guarantee(&oracle, 1, 10).unwrap();
+}
+
+#[test]
+fn zeta_larger_than_n_is_safe() {
+    let (g, s, t) = graphkit::gen::parallel_lane(8, 2, 1);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    assert_exact(&g, &inst, 10 * inst.n());
+}
+
+#[test]
+fn star_vertex_high_degree_hub() {
+    // A hub adjacent to every path vertex: detours of exactly 2 hops
+    // from anywhere to anywhere — maximal congestion pressure on the
+    // trimmed BFS.
+    let h = 10;
+    let hub = h + 1;
+    let mut b = GraphBuilder::new(h + 2);
+    for i in 0..h {
+        b.add_arc(i, i + 1);
+    }
+    for i in 0..=h {
+        b.add_arc(i, hub);
+        b.add_arc(hub, i);
+    }
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, h).unwrap();
+    for zeta in [1, 2, 3] {
+        assert_exact(&g, &inst, zeta);
+    }
+}
+
+#[test]
+fn source_and_target_adjacent_to_everything() {
+    // Dense fan-in/fan-out; every edge has a short bypass.
+    let n = 14;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..5 {
+        b.add_arc(i, i + 1);
+    }
+    for v in 6..n {
+        b.add_arc(0, v);
+        b.add_arc(v, 5);
+        // lateral links
+        if v + 1 < n {
+            b.add_arc(v, v + 1);
+        }
+    }
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 5).unwrap();
+    assert_exact(&g, &inst, 4);
+}
+
+#[test]
+fn path_knowledge_protocol_on_extreme_shapes() {
+    // Lemma 2.5 on a pure path (max gap) and on a dense graph (min D).
+    use congest::bfs_tree::build_bfs_tree;
+    use congest::Network;
+    use rpaths_core::knowledge;
+
+    let (g, s, t) = graphkit::gen::planted_path_digraph(64, 63, 0, 0);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let params = Params::for_instance(&inst).with_seed(9);
+    let mut net = Network::new(inst.graph);
+    let (tree, _) = build_bfs_tree(&mut net, inst.s());
+    let know = knowledge::acquire(&mut net, &inst, &params, &tree);
+    assert_eq!(know.index, (0..=63).collect::<Vec<_>>());
+    assert_eq!(know.dist_s, inst.prefix);
+    assert_eq!(know.dist_t, inst.suffix);
+}
+
+#[test]
+fn runs_are_fully_deterministic() {
+    // Same seed, same instance: identical answers AND identical metrics
+    // (round counts are results in this repo; they must be stable).
+    let (g, s, t) = graphkit::gen::planted_path_digraph(80, 20, 200, 5);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let params = Params::for_instance(&inst).with_seed(123);
+    let a = unweighted::solve(&inst, &params);
+    let b = unweighted::solve(&inst, &params);
+    assert_eq!(a.replacement, b.replacement);
+    assert_eq!(a.metrics.total, b.metrics.total);
+    assert_eq!(a.metrics.phases.len(), b.metrics.phases.len());
+}
+
+#[test]
+fn graphs_round_trip_through_serde() {
+    let (g, _, _) = graphkit::gen::planted_path_digraph(30, 10, 60, 8);
+    let json = serde_json::to_string(&g).expect("serialize");
+    let g2: graphkit::DiGraph = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(g.node_count(), g2.node_count());
+    assert_eq!(g.edge_count(), g2.edge_count());
+    for (id, e) in g.edges() {
+        assert_eq!(e, g2.edge(id));
+    }
+    for v in g.nodes() {
+        assert_eq!(
+            g.successors(v).collect::<Vec<_>>(),
+            g2.successors(v).collect::<Vec<_>>()
+        );
+    }
+}

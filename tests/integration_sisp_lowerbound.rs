@@ -1,0 +1,86 @@
+//! Cross-crate integration: 2-SiSP and the Section 6 lower-bound
+//! machinery working together — the reduction solved by the real
+//! distributed algorithm.
+
+use graphkit::alg::second_simple_shortest;
+use graphkit::gen::planted_path_digraph;
+use graphkit::Dist;
+use rpaths_core::{sisp, Instance, Params};
+use rpaths_lb::disjointness::run_reduction;
+use rpaths_lb::hard::{build, random_inputs};
+use rpaths_lb::lemma68::verify;
+
+#[test]
+fn distributed_sisp_matches_oracle_on_hard_graphs() {
+    // The lower-bound construction is also a perfectly good input for
+    // the upper-bound algorithm; the two sides of the paper meet here.
+    for seed in 0..4 {
+        let (m, x) = random_inputs(2, seed + 50);
+        let hg = build(2, 2, 2, &m, &x);
+        let inst = Instance::from_endpoints(&hg.graph, hg.s, hg.t).unwrap();
+        let mut params = Params::for_instance(&inst).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let out = sisp::solve(&inst, &params);
+        let oracle = second_simple_shortest(&hg.graph, &inst.path);
+        assert_eq!(out.value, oracle, "seed {seed}");
+    }
+}
+
+#[test]
+fn lemma68_and_distributed_solver_agree() {
+    for seed in 0..4 {
+        let (m, x) = random_inputs(2, seed);
+        let hg = build(2, 2, 3, &m, &x);
+        let report = verify(&hg, &m, &x);
+        assert!(report.all_ok());
+
+        let inst = Instance::from_endpoints(&hg.graph, hg.s, hg.t).unwrap();
+        let mut params = Params::for_instance(&inst).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let out = sisp::solve(&inst, &params);
+        assert_eq!(out.value, report.sisp, "seed {seed}");
+    }
+}
+
+#[test]
+fn reduction_is_correct_over_many_inputs() {
+    for seed in 0..8 {
+        let (m, x) = random_inputs(2, seed * 7 + 3);
+        let y: Vec<bool> = m.iter().flatten().copied().collect();
+        let out = run_reduction(2, 2, 2, &x, &y, seed);
+        assert_eq!(out.disjoint, out.expected_disjoint, "seed {seed}");
+        assert!(out.cut_bits >= out.bob_bits, "seed {seed}");
+    }
+}
+
+#[test]
+fn sisp_equals_min_of_rpaths_output() {
+    for seed in 0..3 {
+        let (g, s, t) = planted_path_digraph(50, 14, 120, seed);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::with_zeta(50, 6).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let rp = rpaths_core::unweighted::solve(&inst, &params);
+        let si = sisp::solve(&inst, &params);
+        assert_eq!(si.value, rp.sisp(), "seed {seed}");
+    }
+}
+
+#[test]
+fn larger_construction_still_decodes() {
+    let (m, x) = random_inputs(3, 999);
+    let y: Vec<bool> = m.iter().flatten().copied().collect();
+    let out = run_reduction(3, 2, 3, &x, &y, 1);
+    assert_eq!(out.disjoint, out.expected_disjoint);
+    // Sanity on the instance shape: n = 2k·dᵖ + 4k³ + 2k + k² + 1 + tree.
+    assert_eq!(out.n, 2 * 3 * 8 + 4 * 27 + 2 * 3 + 9 + 1 + 15);
+}
+
+#[test]
+fn sisp_infinite_when_no_second_path() {
+    let (g, s, t) = planted_path_digraph(12, 11, 0, 0);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let params = Params::for_instance(&inst);
+    let out = sisp::solve(&inst, &params);
+    assert_eq!(out.value, Dist::INF);
+}

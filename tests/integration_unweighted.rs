@@ -1,0 +1,143 @@
+//! Cross-crate integration: Theorem 1 and both baselines against the
+//! centralized oracle, across every generator family and across the
+//! short/long detour regimes.
+
+use graphkit::alg::replacement_lengths;
+use graphkit::gen::{grid, layered_dag, parallel_lane, planted_path_digraph, random_digraph};
+use graphkit::Dist;
+use rpaths_core::{baseline, unweighted, Instance, Params};
+
+fn exact_params(n: usize, zeta: usize, seed: u64) -> Params {
+    // Full landmarks: turn "w.h.p." into certainty on test-sized graphs
+    // so any failure is an algorithm bug, not sampling luck.
+    let mut p = Params::with_zeta(n, zeta).with_seed(seed);
+    p.landmark_prob = 1.0;
+    p
+}
+
+fn check_all_solvers(g: &graphkit::DiGraph, s: usize, t: usize, zeta: usize, seed: u64) {
+    let inst = Instance::from_endpoints(g, s, t).expect("valid instance");
+    let oracle = replacement_lengths(g, &inst.path);
+    let params = exact_params(inst.n(), zeta, seed);
+
+    let ours = unweighted::solve(&inst, &params);
+    assert_eq!(ours.replacement, oracle, "theorem1 mismatch");
+
+    let mr = baseline::mr24::solve(&inst, &params);
+    assert_eq!(mr.replacement, oracle, "mr24 mismatch");
+
+    let naive = baseline::naive::solve(&inst, &params);
+    assert_eq!(naive.replacement, oracle, "naive mismatch");
+}
+
+#[test]
+fn all_solvers_agree_on_random_instances() {
+    for seed in 0..6 {
+        let (g, s, t) = planted_path_digraph(60, 18, 180, seed);
+        check_all_solvers(&g, s, t, 6, seed);
+    }
+}
+
+#[test]
+fn all_solvers_agree_on_lane_long_regime() {
+    // Detours of 2 + 8·2 = 18 hops, ζ = 5: pure long-detour regime.
+    let (g, s, t) = parallel_lane(24, 8, 2);
+    check_all_solvers(&g, s, t, 5, 1);
+}
+
+#[test]
+fn all_solvers_agree_on_lane_short_regime() {
+    // Detours of 4 hops, ζ = 10: pure short-detour regime.
+    let (g, s, t) = parallel_lane(24, 2, 1);
+    check_all_solvers(&g, s, t, 10, 2);
+}
+
+#[test]
+fn all_solvers_agree_on_structured_graphs() {
+    let (g, s, t) = grid(6, 7);
+    check_all_solvers(&g, s, t, 5, 3);
+    let (g, s, t) = layered_dag(10, 5, 80, 4);
+    check_all_solvers(&g, s, t, 4, 4);
+}
+
+#[test]
+fn zeta_boundary_cases() {
+    let (g, s, t) = parallel_lane(12, 3, 1); // detours of exactly 5 hops
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let oracle = replacement_lengths(&g, &inst.path);
+    // ζ exactly at, below, and above the detour length.
+    for zeta in [4, 5, 6] {
+        let out = unweighted::solve(&inst, &exact_params(inst.n(), zeta, 9));
+        assert_eq!(out.replacement, oracle, "zeta = {zeta}");
+    }
+}
+
+#[test]
+fn unreachable_replacements_are_infinite_everywhere() {
+    // Lane with a single protection span: cutting outside it is fatal.
+    let (g, s, t) = parallel_lane(9, 9, 1);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let oracle = replacement_lengths(&g, &inst.path);
+    let out = unweighted::solve(&inst, &exact_params(inst.n(), 4, 5));
+    assert_eq!(out.replacement, oracle);
+    assert!(out.replacement.iter().all(|d| d.is_finite()));
+
+    // Pure path: no replacement exists at all.
+    let (g2, s2, t2) = planted_path_digraph(10, 9, 0, 0);
+    let inst2 = Instance::from_endpoints(&g2, s2, t2).unwrap();
+    let out2 = unweighted::solve(&inst2, &exact_params(inst2.n(), 4, 6));
+    assert!(out2.replacement.iter().all(|&d| d == Dist::INF));
+}
+
+#[test]
+fn default_sampling_rate_works_on_midsize_instance() {
+    // Paper defaults (ζ = n^{2/3}, landmark_prob = c·ln n / ζ): exercises
+    // the actual randomized configuration rather than full landmarks.
+    let (g, s, t) = planted_path_digraph(300, 80, 900, 12);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let params = Params::for_instance(&inst).with_seed(1);
+    let out = unweighted::solve(&inst, &params);
+    assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
+}
+
+#[test]
+fn arbitrary_random_digraphs_via_extracted_paths() {
+    for seed in 0..4 {
+        let g = random_digraph(70, 200, seed);
+        let Some((s, t)) = graphkit::gen::random_reachable_pair(&g, seed) else {
+            continue;
+        };
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        if inst.hops() < 2 {
+            continue;
+        }
+        let out = unweighted::solve(&inst, &exact_params(inst.n(), 6, seed));
+        assert_eq!(
+            out.replacement,
+            replacement_lengths(&g, &inst.path),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn theorem1_beats_mr24_when_h_is_large() {
+    // The headline: same instance, h_st = Θ(n), our rounds ≪ MR24 rounds.
+    let h = 160;
+    let (g, s, t) = parallel_lane(h, 8, 3);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let n = inst.n();
+    let mut params = Params::for_n(n).with_seed(4);
+    params.landmark_prob = ((n as f64).ln() / params.zeta as f64).min(1.0);
+    let ours = unweighted::solve(&inst, &params);
+    let mr = baseline::mr24::solve(&inst, &params);
+    let oracle = replacement_lengths(&g, &inst.path);
+    assert_eq!(ours.replacement, oracle);
+    assert_eq!(mr.replacement, oracle);
+    assert!(
+        ours.metrics.rounds() < mr.metrics.rounds(),
+        "ours {} !< mr24 {}",
+        ours.metrics.rounds(),
+        mr.metrics.rounds()
+    );
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: Theorem 3's `(1+ε)` guarantee on weighted
+//! directed graphs, checked in exact rational arithmetic against the
+//! centralized oracle.
+
+use graphkit::alg::{replacement_lengths, shortest_st_path};
+use graphkit::gen::{random_weighted_digraph, parallel_lane};
+use rpaths_core::{weighted, Instance, Params};
+
+fn usable_instance(
+    n: usize,
+    m: usize,
+    w: u64,
+    seed: u64,
+) -> Option<(graphkit::DiGraph, usize, usize)> {
+    let g = random_weighted_digraph(n, m, w, seed);
+    let (s, t) = graphkit::gen::random_reachable_pair(&g, seed ^ 0xaaaa)?;
+    let p = shortest_st_path(&g, s, t)?;
+    (p.hops() >= 3).then_some(()).map(|_| (g, s, t))
+}
+
+fn check(g: &graphkit::DiGraph, s: usize, t: usize, params: &Params) {
+    let inst = Instance::from_endpoints(g, s, t).unwrap();
+    let out = weighted::solve(&inst, params);
+    let oracle = replacement_lengths(g, &inst.path);
+    out.check_guarantee(&oracle, params.eps_num, params.eps_den)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn guarantee_holds_across_seeds_and_weights() {
+    let mut tested = 0;
+    for seed in 0..20 {
+        let w = 1 + (seed % 4) * 7; // weights 1, 8, 15, 22
+        let Some((g, s, t)) = usable_instance(40, 130, w, seed) else {
+            continue;
+        };
+        let mut params = Params::with_zeta(40, 6).with_seed(seed);
+        params.landmark_prob = 1.0;
+        check(&g, s, t, &params);
+        tested += 1;
+    }
+    assert!(tested >= 10, "only {tested} usable instances");
+}
+
+#[test]
+fn guarantee_holds_for_several_epsilons() {
+    let Some((g, s, t)) = usable_instance(36, 110, 9, 101) else {
+        panic!("seed 101 must produce an instance");
+    };
+    for (num, den) in [(1u64, 2u64), (1, 4), (1, 10), (9, 10)] {
+        let mut params = Params::with_zeta(36, 5).with_eps(num, den).with_seed(3);
+        params.landmark_prob = 1.0;
+        check(&g, s, t, &params);
+    }
+}
+
+#[test]
+fn weighted_solver_is_exactly_right_on_unweighted_input() {
+    // On an unweighted graph the exact answers are integers; the (1+ε)
+    // bracket still applies and the lower side must be tight.
+    let (g, s, t) = parallel_lane(16, 4, 2);
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let mut params = Params::with_zeta(inst.n(), 5);
+    params.landmark_prob = 1.0;
+    let out = weighted::solve(&inst, &params);
+    let oracle = replacement_lengths(&g, &inst.path);
+    out.check_guarantee(&oracle, params.eps_num, params.eps_den)
+        .unwrap();
+}
+
+#[test]
+fn heavy_single_edge_detours_are_found() {
+    // A heavy bypass edge s -> t is a 1-hop detour spanning the whole
+    // path — the exact situation the interval machinery exists for.
+    let mut b = graphkit::GraphBuilder::new(8);
+    for i in 0..7 {
+        b.add_edge(i, i + 1, 2);
+    }
+    b.add_edge(0, 7, 100); // bypass
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 7).unwrap();
+    assert_eq!(inst.hops(), 7);
+    let mut params = Params::with_zeta(8, 2); // tiny ζ: many intervals
+    params.landmark_prob = 1.0;
+    let out = weighted::solve(&inst, &params);
+    let oracle = replacement_lengths(&g, &inst.path);
+    assert!(oracle.iter().all(|d| d.finite() == Some(100)));
+    out.check_guarantee(&oracle, params.eps_num, params.eps_den)
+        .unwrap();
+}
+
+#[test]
+fn default_parameters_on_midsize_weighted_instance() {
+    let Some((g, s, t)) = usable_instance(150, 500, 20, 77) else {
+        panic!("seed 77 must produce an instance");
+    };
+    let inst = Instance::from_endpoints(&g, s, t).unwrap();
+    let params = Params::for_instance(&inst).with_seed(2);
+    let out = weighted::solve(&inst, &params);
+    let oracle = replacement_lengths(&g, &inst.path);
+    out.check_guarantee(&oracle, params.eps_num, params.eps_den)
+        .unwrap();
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the `congest` communication primitives:
+//! whatever the topology, the primitives must deliver exactly the right
+//! data within their claimed round bounds.
+
+use congest::aggregate::{aggregate, AggOp};
+use congest::bfs_tree::build_bfs_tree;
+use congest::broadcast::broadcast;
+use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
+use congest::pipeline::{diagonal_dp, prefix_sweep, Lane};
+use congest::Network;
+use graphkit::alg::bfs_hop_bounded;
+use graphkit::gen::random_digraph;
+use graphkit::{Dist, GraphBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn broadcast_delivers_every_item_to_everyone(
+        n in 4usize..60,
+        per_node in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 2 * n, seed);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let items: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..per_node).map(|j| (v * 10 + j) as u64).collect())
+            .collect();
+        let total: usize = items.iter().map(|i| i.len()).sum();
+        let (out, stats) = broadcast(&mut net, &tree, items, |_| 16, "bc");
+        for v in 0..n {
+            prop_assert_eq!(out[v].len(), total);
+            prop_assert_eq!(&out[v], &out[0], "node {} diverged", v);
+        }
+        let mut sorted = out[0].clone();
+        sorted.sort_unstable();
+        let mut expect: Vec<u64> = (0..n)
+            .flat_map(|v| (0..per_node).map(move |j| (v * 10 + j) as u64))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+        // Lemma 2.4's O(M + D) with an explicit constant.
+        prop_assert!(stats.rounds <= 3 * (total as u64 + tree.height) + 8);
+    }
+
+    #[test]
+    fn multi_bfs_equals_centralized_oracle(
+        n in 4usize..50,
+        k in 1usize..6,
+        h in 1u64..30,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 3 * n, seed);
+        let sources: Vec<usize> = (0..k).map(|i| (i * 13 + 1) % n).collect();
+        let cfg = MultiBfsConfig {
+            sources: sources.clone(),
+            max_dist: h,
+            reverse: false,
+            delays: None,
+        };
+        let mut net = Network::new(&g);
+        let (dist, stats) =
+            multi_source_bfs(&mut net, &cfg, |_| true, "mbfs", default_budget(k, h))
+                .expect("quiesces");
+        for (i, &s) in sources.iter().enumerate() {
+            let oracle = bfs_hop_bounded(&g, &[s], h as usize, |_| true);
+            prop_assert_eq!(&dist[i], &oracle, "source {}", s);
+        }
+        // Lemma 5.5's O(k + h) with an explicit constant.
+        prop_assert!(stats.rounds <= 2 * (k as u64 + h) + 16);
+    }
+
+    #[test]
+    fn prefix_sweep_is_a_prefix_min(
+        len in 2usize..20,
+        jobs in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut b = GraphBuilder::new(len);
+        let links: Vec<usize> = (0..len - 1).map(|i| b.add_arc(i, i + 1)).collect();
+        let g = b.build();
+        let lane = Lane::forward((0..len).collect(), links);
+        let val = |pos: usize, job: usize| {
+            ((pos as u64 * 7919 + job as u64 * 104729 + seed) % 97) + 1
+        };
+        let mut net = Network::new(&g);
+        let (out, stats) = prefix_sweep(
+            &mut net,
+            std::slice::from_ref(&lane),
+            jobs,
+            &|_, pos, job| Dist::new(val(pos, job)),
+            "sweep",
+        );
+        for pos in 0..len {
+            for job in 0..jobs {
+                let expect = (0..=pos).map(|p| val(p, job)).min().unwrap();
+                prop_assert_eq!(out[0][pos][job], Dist::new(expect));
+            }
+        }
+        prop_assert_eq!(stats.rounds, jobs as u64 + len as u64);
+    }
+
+    #[test]
+    fn diagonal_dp_matches_direct_recurrence(
+        len in 2usize..16,
+        rounds in 1u64..12,
+        seed in 0u64..500,
+    ) {
+        let mut b = GraphBuilder::new(len);
+        let links: Vec<usize> = (0..len - 1).map(|i| b.add_arc(i, i + 1)).collect();
+        let g = b.build();
+        let lane = Lane::forward((0..len).collect(), links);
+        let f = |p: usize, r: u64| ((p as u64 * 31 + r * 17 + seed) % 89) + 1;
+        let mut net = Network::new(&g);
+        let (cur, _) = diagonal_dp(
+            &mut net,
+            &lane,
+            |p| Dist::new(f(p, 0)),
+            &|p, r| Dist::new(f(p, r)),
+            rounds,
+            "dp",
+        );
+        let mut reference: Vec<Dist> = (0..len).map(|p| Dist::new(f(p, 0))).collect();
+        for r in 1..=rounds {
+            let prev = reference.clone();
+            for p in 0..len {
+                let local = Dist::new(f(p, r));
+                reference[p] = if p == 0 { local } else { prev[p - 1].min(local) };
+            }
+        }
+        prop_assert_eq!(cur, reference);
+    }
+
+    #[test]
+    fn aggregate_matches_local_fold(
+        n in 2usize..60,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 2 * n, seed);
+        let values: Vec<Dist> = (0..n)
+            .map(|v| Dist::new(((v as u64 * 37 + seed) % 1000) + 1))
+            .collect();
+        for (op, expect) in [
+            (AggOp::Min, values.iter().copied().min().unwrap()),
+            (AggOp::Max, values.iter().copied().max().unwrap()),
+            (AggOp::Sum, values.iter().copied().sum()),
+        ] {
+            let mut net = Network::new(&g);
+            let (tree, _) = build_bfs_tree(&mut net, seed as usize % n);
+            prop_assert_eq!(aggregate(&mut net, &tree, op, &values), expect);
+        }
+    }
+
+    #[test]
+    fn bfs_tree_depths_are_undirected_distances(
+        n in 2usize..60,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 2 * n, seed);
+        let root = seed as usize % n;
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, root);
+        // Centralized undirected BFS.
+        let mut dist = vec![usize::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[root] = 0;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for w in g.undirected_neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        for v in 0..n {
+            prop_assert_eq!(tree.depth[v] as usize, dist[v]);
+        }
+    }
+}

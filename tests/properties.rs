@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! - Theorem 1 output == centralized oracle on arbitrary planted
+//!   instances (with full landmarks, so randomness cannot excuse a
+//!   failure).
+//! - Theorem 3 output brackets the oracle within `(1+ε)`.
+//! - Lemma 6.8's iff-correspondence for arbitrary `(M, x)`.
+//! - `Dist` arithmetic is a commutative monoid with absorbing ∞.
+//! - Generator contracts (planted path is shortest; connectivity).
+
+use graphkit::alg::{replacement_lengths, shortest_st_path, undirected_diameter};
+use graphkit::gen::{parallel_lane, planted_path_digraph, random_weighted_digraph};
+use graphkit::Dist;
+use proptest::prelude::*;
+use rpaths_core::{unweighted, weighted, Instance, Params};
+use rpaths_lb::hard;
+use rpaths_lb::lemma68;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem1_matches_oracle_on_planted(
+        h in 4usize..20,
+        extra in 0usize..150,
+        zeta in 2usize..12,
+        seed in 0u64..1000,
+    ) {
+        let n = 3 * h + 8;
+        let (g, s, t) = planted_path_digraph(n, h, extra, seed);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::with_zeta(n, zeta).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let out = unweighted::solve(&inst, &params);
+        prop_assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
+    }
+
+    #[test]
+    fn theorem1_matches_oracle_on_lanes(
+        h in 4usize..24,
+        c in 1usize..6,
+        stretch in 1usize..4,
+        zeta in 2usize..10,
+    ) {
+        let (g, s, t) = parallel_lane(h, c, stretch);
+        let inst = Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = Params::with_zeta(inst.n(), zeta);
+        params.landmark_prob = 1.0;
+        let out = unweighted::solve(&inst, &params);
+        prop_assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
+    }
+
+    #[test]
+    fn theorem3_guarantee_on_random_weighted(
+        seed in 0u64..400,
+        w in 1u64..20,
+        zeta in 3usize..8,
+    ) {
+        let g = random_weighted_digraph(30, 90, w, seed);
+        let Some((s, t)) = graphkit::gen::random_reachable_pair(&g, seed) else {
+            return Ok(());
+        };
+        let Some(p) = shortest_st_path(&g, s, t) else { return Ok(()); };
+        if p.hops() < 3 {
+            return Ok(());
+        }
+        let inst = Instance::new(&g, p).unwrap();
+        let mut params = Params::with_zeta(30, zeta).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let out = weighted::solve(&inst, &params);
+        let oracle = replacement_lengths(&g, &inst.path);
+        prop_assert!(out.check_guarantee(&oracle, params.eps_num, params.eps_den).is_ok());
+    }
+
+    #[test]
+    fn lemma_6_8_holds_for_arbitrary_inputs(
+        m_bits in proptest::collection::vec(any::<bool>(), 4),
+        x_bits in proptest::collection::vec(any::<bool>(), 4),
+    ) {
+        let m = vec![vec![m_bits[0], m_bits[1]], vec![m_bits[2], m_bits[3]]];
+        let report = lemma68::verify_instance(2, 2, 2, &m, &x_bits);
+        prop_assert!(report.all_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn dist_addition_laws(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let (da, db, dc) = (Dist::new(a), Dist::new(b), Dist::new(c));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert_eq!(da + Dist::ZERO, da);
+        prop_assert_eq!(da + Dist::INF, Dist::INF);
+        prop_assert!(da + db >= da);
+    }
+
+    #[test]
+    fn planted_generator_contract(
+        h in 1usize..30,
+        extra in 0usize..200,
+        seed in 0u64..500,
+    ) {
+        let n = h + 1 + (seed as usize % 40);
+        let (g, s, t) = planted_path_digraph(n, h, extra, seed);
+        let p = shortest_st_path(&g, s, t).expect("t reachable");
+        prop_assert_eq!(p.hops(), h);
+        prop_assert!(p.validate_shortest(&g).is_ok());
+        prop_assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn hard_graph_shape_contract(k in 2usize..4, seed in 0u64..100) {
+        let (m, x) = hard::random_inputs(k, seed);
+        let g = hard::build(k, 2, 2, &m, &x);
+        let dp = 4usize;
+        let tree = 7usize;
+        prop_assert_eq!(
+            g.graph.node_count(),
+            2 * k * dp + 2 * k * (2 * k * k + 1) + k * k + 1 + tree
+        );
+        let diam = undirected_diameter(&g.graph).expect("connected");
+        prop_assert!(diam <= 2 * 2 + 2);
+        // P* is shortest.
+        let p = shortest_st_path(&g.graph, g.s, g.t).expect("reachable");
+        prop_assert_eq!(p.hops(), k * k);
+    }
+
+    #[test]
+    fn replacement_is_monotone_in_edge_additions(
+        h in 3usize..10,
+        seed in 0u64..200,
+    ) {
+        // Adding edges can only shorten (or keep) replacement lengths.
+        let n = 3 * h;
+        let (g1, s, t) = planted_path_digraph(n, h, 10, seed);
+        let (g2, s2, t2) = planted_path_digraph(n, h, 60, seed);
+        prop_assert_eq!((s, t), (s2, t2));
+        // Same seed => g2's first edges coincide with g1's (the generator
+        // appends); the planted path is identical.
+        let p1 = shortest_st_path(&g1, s, t).unwrap();
+        let p2 = shortest_st_path(&g2, s, t).unwrap();
+        if p1.nodes() != p2.nodes() {
+            return Ok(());
+        }
+        let r1 = replacement_lengths(&g1, &p1);
+        let r2 = replacement_lengths(&g2, &p2);
+        for i in 0..h {
+            prop_assert!(r2[i] <= r1[i], "edge {i}: {} > {}", r2[i], r1[i]);
+        }
+    }
+}
