@@ -35,7 +35,7 @@ fn bench_trimming(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("untrimmed", h), &h, |b, _| {
             b.iter(|| {
                 let cfg = MultiBfsConfig {
-                    sources: inst.path.nodes().to_vec(),
+                    sources: inst.path.nodes(),
                     max_dist: zeta as u64,
                     reverse: true,
                     delays: None,

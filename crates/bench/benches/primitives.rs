@@ -47,7 +47,7 @@ fn bench_multi_bfs(c: &mut Criterion) {
             |b, &h| {
                 b.iter(|| {
                     let cfg = MultiBfsConfig {
-                        sources: sources.clone(),
+                        sources: &sources,
                         max_dist: h,
                         reverse: false,
                         delays: None,

@@ -18,7 +18,11 @@ use rpaths_core::{baseline, unweighted, Instance};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let hs: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let hs: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
 
     println!("== X2: furthest-origin trimming vs untrimmed multi-source BFS ==");
     println!(
@@ -48,7 +52,7 @@ fn main() {
         // Untrimmed: per-source announcements (MR24's congestion profile).
         let mut net = Network::new(&case.graph);
         let bcfg = MultiBfsConfig {
-            sources: inst.path.nodes().to_vec(),
+            sources: inst.path.nodes(),
             max_dist: zeta as u64,
             reverse: true,
             delays: None,

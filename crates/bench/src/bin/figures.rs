@@ -10,9 +10,9 @@
 //!   centralized oracle — including reproducing the green highlighted
 //!   detour route for a planted good bit.
 
+use rpaths_lb::gamma;
 use rpaths_lb::hard::{build, random_inputs};
 use rpaths_lb::lemma68::verify;
-use rpaths_lb::gamma;
 
 fn main() {
     println!("== Figure 1: G(Gamma, d, p) (Observation 6.3) ==");
@@ -20,7 +20,13 @@ fn main() {
         "{:>6} {:>3} {:>3} {:>8} {:>10} {:>9} {:>7}",
         "Gamma", "d", "p", "n", "expected", "diameter", "2p+2"
     );
-    for (gamma_count, d, p) in [(4usize, 2usize, 2usize), (4, 2, 3), (8, 2, 4), (3, 3, 2), (6, 2, 5)] {
+    for (gamma_count, d, p) in [
+        (4usize, 2usize, 2usize),
+        (4, 2, 3),
+        (8, 2, 4),
+        (3, 3, 2),
+        (6, 2, 5),
+    ] {
         let g = gamma::build(gamma_count, d, p);
         let dp = gamma::path_len(d, p);
         let tree = (d.pow(p as u32 + 1) - 1) / (d - 1);
@@ -46,7 +52,12 @@ fn main() {
         "{:>3} {:>3} {:>3} {:>8} {:>9} {:>11} {:>10} {:>8}",
         "k", "d", "p", "n", "diameter", "good_len", "sisp", "lemma6.8"
     );
-    for (k, d, p, seed) in [(2usize, 2usize, 2usize, 1u64), (3, 2, 3, 2), (4, 2, 4, 3), (3, 3, 2, 4)] {
+    for (k, d, p, seed) in [
+        (2usize, 2usize, 2usize, 1u64),
+        (3, 2, 3, 2),
+        (4, 2, 4, 3),
+        (3, 3, 2, 4),
+    ] {
         let (m, x) = random_inputs(k, seed);
         let g = build(k, d, p, &m, &x);
         let report = verify(&g, &m, &x);

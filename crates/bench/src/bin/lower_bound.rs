@@ -49,7 +49,10 @@ fn main() {
                 out.disjoint,
                 out.expected_disjoint
             );
-            assert_eq!(out.disjoint, out.expected_disjoint, "reduction decoded wrongly");
+            assert_eq!(
+                out.disjoint, out.expected_disjoint,
+                "reduction decoded wrongly"
+            );
             assert!(
                 out.cut_bits >= out.bob_bits,
                 "fewer bits crossed the cut than Bob encodes"
@@ -84,7 +87,11 @@ fn main() {
         "{:>5} {:>9} {:>9} {:>10} {:>9} {:>8}",
         "d", "diameter", "reversed", "sisp", "rounds", "correct"
     );
-    let ds: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64, 128] };
+    let ds: &[usize] = if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128]
+    };
     for &d in ds {
         for rev in [None, Some(d / 2)] {
             let pt = run_family(d, rev, 5);

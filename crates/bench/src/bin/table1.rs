@@ -115,7 +115,11 @@ fn main() {
     println!();
     println!("== Table 1 / weighted (1+ε)-Apx-RPaths (Theorem 3) ==");
     Row::header();
-    let wns: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let wns: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     for &n in wns {
         let mut seed = 1;
         let row = loop {
@@ -133,9 +137,15 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "table1.json".into());
     if std::env::args().any(|a| a == "--json") {
-        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&all).expect("serialize"),
+        )
+        .expect("write json");
         println!("\nwrote {path}");
     }
-    assert!(all.iter().all(|r| r.correct), "some measurement disagreed with its oracle");
+    assert!(
+        all.iter().all(|r| r.correct),
+        "some measurement disagreed with its oracle"
+    );
 }

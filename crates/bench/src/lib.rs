@@ -128,7 +128,14 @@ pub fn measure_ours(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
     let out = unweighted::solve(&inst, params);
     let oracle = replacement_lengths(&case.graph, &inst.path);
-    finish_row("theorem1", case, &inst, params, out.metrics, out.replacement == oracle)
+    finish_row(
+        "theorem1",
+        case,
+        &inst,
+        params,
+        out.metrics,
+        out.replacement == oracle,
+    )
 }
 
 /// Measures the MR24 baseline on a case.
@@ -136,7 +143,14 @@ pub fn measure_mr24(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
     let out = baseline::mr24::solve(&inst, params);
     let oracle = replacement_lengths(&case.graph, &inst.path);
-    finish_row("mr24", case, &inst, params, out.metrics, out.replacement == oracle)
+    finish_row(
+        "mr24",
+        case,
+        &inst,
+        params,
+        out.metrics,
+        out.replacement == oracle,
+    )
 }
 
 /// Measures the naive `h_st`-BFS baseline on a case.
@@ -144,7 +158,14 @@ pub fn measure_naive(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
     let out = baseline::naive::solve(&inst, params);
     let oracle = replacement_lengths(&case.graph, &inst.path);
-    finish_row("naive", case, &inst, params, out.metrics, out.replacement == oracle)
+    finish_row(
+        "naive",
+        case,
+        &inst,
+        params,
+        out.metrics,
+        out.replacement == oracle,
+    )
 }
 
 /// Measures Theorem 3 on a weighted random instance; correctness is the

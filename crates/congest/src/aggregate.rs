@@ -11,7 +11,7 @@
 use graphkit::Dist;
 
 use crate::bfs_tree::BfsTree;
-use crate::network::{word_bits, Network, NodeCtx, Protocol};
+use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 
 /// The supported aggregation operators over [`Dist`] values.
 ///
@@ -102,6 +102,14 @@ impl Protocol for Aggregate<'_> {
     fn idle(&self) -> bool {
         self.result.iter().all(|r| r.is_some())
     }
+
+    // Leaves fire in round 0 (stepped by the activation base case);
+    // every later transition — the last child report arriving, the
+    // downcast value arriving — happens in the round a message is
+    // delivered.
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
 }
 
 /// Aggregates `values` with `op` over `tree`; every node learns the
@@ -115,10 +123,7 @@ pub fn aggregate(net: &mut Network<'_>, tree: &BfsTree, op: AggOp, values: &[Dis
     let n = net.node_count();
     assert_eq!(values.len(), n);
     let waiting: Vec<usize> = (0..n).map(|v| tree.child_ports[v].len()).collect();
-    let acc: Vec<Dist> = values
-        .iter()
-        .map(|&v| op.fold(op.identity(), v))
-        .collect();
+    let acc: Vec<Dist> = values.iter().map(|&v| op.fold(op.identity(), v)).collect();
     let mut proto = Aggregate {
         tree,
         op,
@@ -166,7 +171,10 @@ mod tests {
         values[13] = Dist::new(7);
         let mut net = Network::new(&g);
         let (tree, _) = build_bfs_tree(&mut net, 4);
-        assert_eq!(aggregate(&mut net, &tree, AggOp::Min, &values), Dist::new(7));
+        assert_eq!(
+            aggregate(&mut net, &tree, AggOp::Min, &values),
+            Dist::new(7)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use graphkit::NodeId;
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol};
+use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 use crate::RunStats;
 
 /// The result of distributed BFS-tree construction.
@@ -90,6 +90,12 @@ impl Protocol for TreeProtocol {
             }
         }
     }
+
+    // Joins and adoptions happen only on receipt (or at the root in
+    // round 0), so the protocol is sweep-agnostic as-is.
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
 }
 
 /// Builds a BFS tree rooted at `root`, charging the rounds it takes
@@ -114,13 +120,15 @@ pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> (BfsTree, RunStats
         .depth
         .iter()
         .enumerate()
-        .map(|(v, d)| d.unwrap_or_else(|| panic!("node {v} unreachable: communication graph must be connected")))
+        .map(|(v, d)| {
+            d.unwrap_or_else(|| {
+                panic!("node {v} unreachable: communication graph must be connected")
+            })
+        })
         .collect();
     let height = depth.iter().copied().max().unwrap_or(0);
     let parent = (0..n)
-        .map(|v| {
-            proto.parent_port[v].map(|p| net.ports(v)[p as usize].peer)
-        })
+        .map(|v| proto.parent_port[v].map(|p| net.ports(v)[p as usize].peer))
         .collect();
     (
         BfsTree {

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::bfs_tree::BfsTree;
-use crate::network::{Network, NodeCtx, Protocol};
+use crate::network::{Network, NodeCtx, Protocol, Scheduling};
 use crate::RunStats;
 
 #[derive(Clone, Debug)]
@@ -41,7 +41,7 @@ impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
 
     fn on_round(&mut self, ctx: &mut NodeCtx<'_, Flow<T>>) {
         let v = ctx.node;
-        for (_, msg) in ctx.inbox().iter().cloned().collect::<Vec<_>>() {
+        for (_, msg) in ctx.inbox().to_vec() {
             match msg {
                 Flow::Up(item) => {
                     if v == self.tree.root {
@@ -69,6 +69,12 @@ impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
                 ctx.send(cp, Flow::Down(item.clone()));
             }
         }
+        // The pipeline moves one item per round, so a node with queued
+        // uploads or an unforwarded stream suffix must act again next
+        // round even if nothing new arrives.
+        if !self.up_queue[v].is_empty() || self.down_cursor[v] < self.delivered[v].len() {
+            ctx.wake();
+        }
     }
 
     fn idle(&self) -> bool {
@@ -78,6 +84,10 @@ impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
                 .iter()
                 .zip(&self.delivered)
                 .all(|(&c, d)| c == d.len() && d.len() == self.expected_total)
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
     }
 }
 

@@ -15,12 +15,46 @@
 //! direction per round, and every message's declared size must fit the
 //! configured bandwidth. Violations are protocol bugs and panic.
 //!
-//! # Layout
+//! # The engine
 //!
-//! - [`Network`] + [`Protocol`]: the engine. Algorithms are state
-//!   machines; the engine owns delivery, round counting, bit accounting,
-//!   and optional cut accounting (bits crossing a labelled vertex cut —
-//!   used by the Section 6 lower-bound experiments).
+//! [`Network`] + [`Protocol`]: algorithms are state machines; the engine
+//! owns delivery, round counting, bit accounting, and optional cut
+//! accounting (bits crossing a labelled vertex cut — used by the
+//! Section 6 lower-bound experiments).
+//!
+//! Internally the engine is built for the paper's regime — protocols
+//! whose rounds vastly outnumber their busy nodes:
+//!
+//! - **Active-set scheduling.** A protocol declares its scheduling
+//!   contract via [`Protocol::scheduling`]. Under
+//!   [`Scheduling::ActiveSet`], a node is stepped only when it is in
+//!   round 0, received a message this round, or re-armed itself with
+//!   [`NodeCtx::wake`] in the previous round; senders implicitly arm
+//!   their receivers. Protocols with self-driven work (send queues,
+//!   delayed deliveries, systolic round schedules) call `wake` to stay
+//!   scheduled. [`Scheduling::FullSweep`] — the default, and forceable
+//!   network-wide with [`Network::set_full_sweep`] — steps every node
+//!   every round and is correct for any protocol. On traffic-dense
+//!   rounds the engine automatically falls back to sweeping (stepping a
+//!   superset of the active set is always exact), so active-set
+//!   bookkeeping never loses to the sweep it replaces.
+//! - **Flat mailbox arenas.** Sends are staged in one flat buffer and
+//!   counting-sorted by destination into a CSR-bucketed arena at the end
+//!   of each round; per-node inboxes are slices of that arena. Arena
+//!   offsets, link occupancy, and activation marks are validated by
+//!   monotonically increasing round generations instead of being
+//!   cleared, and all non-message buffers live on the [`Network`], reused
+//!   across rounds *and* phases.
+//!
+//! **Invariant:** scheduling is a wall-clock optimization with no effect
+//! on the measured model quantities. Delivered messages, per-destination
+//! delivery order, round counts, and every [`RunStats`] field are
+//! bit-identical between `ActiveSet` and `FullSweep` runs; the
+//! differential suite in `tests/engine_equivalence.rs` asserts this for
+//! every primitive and an end-to-end solver. Table 1 numbers depend only
+//! on the model, never on the schedule.
+//!
+//! # Communication primitives
 //! - [`bfs_tree`]: distributed BFS tree over the underlying undirected
 //!   graph (depth at most the eccentricity of the root, hence at most
 //!   `D`).
@@ -47,4 +81,4 @@ mod network;
 pub mod pipeline;
 
 pub use metrics::{Metrics, PhaseStats, RunStats};
-pub use network::{word_bits, EngineError, NodeCtx, Network, Port, Protocol, Side};
+pub use network::{word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, Side};

@@ -128,9 +128,27 @@ mod tests {
     #[test]
     fn metrics_record_and_query() {
         let mut m = Metrics::default();
-        m.record("bfs/forward", RunStats { rounds: 4, ..Default::default() });
-        m.record("bfs/backward", RunStats { rounds: 6, ..Default::default() });
-        m.record("broadcast", RunStats { rounds: 10, ..Default::default() });
+        m.record(
+            "bfs/forward",
+            RunStats {
+                rounds: 4,
+                ..Default::default()
+            },
+        );
+        m.record(
+            "bfs/backward",
+            RunStats {
+                rounds: 6,
+                ..Default::default()
+            },
+        );
+        m.record(
+            "broadcast",
+            RunStats {
+                rounds: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.rounds(), 20);
         assert_eq!(m.phase_total("bfs").rounds, 10);
         assert_eq!(m.phase_total("broadcast").rounds, 10);

@@ -21,13 +21,17 @@ use std::collections::BinaryHeap;
 
 use graphkit::{Dist, EdgeId, NodeId};
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol};
+use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 use crate::RunStats;
 
 /// Configuration for a multi-source hop-bounded BFS.
-pub struct MultiBfsConfig {
+///
+/// Borrows its source list and delay table so constructing a
+/// configuration allocates nothing — callers that sweep over scales or
+/// path edges reuse one sources slice across every run.
+pub struct MultiBfsConfig<'a> {
     /// The BFS sources; distances are reported per source index.
-    pub sources: Vec<NodeId>,
+    pub sources: &'a [NodeId],
     /// Maximum (delayed-)hop distance to explore; larger distances stay
     /// infinite.
     pub max_dist: u64,
@@ -37,7 +41,7 @@ pub struct MultiBfsConfig {
     pub reverse: bool,
     /// Optional per-edge hop delays (the `⌈w(e)/µ⌉` of Section 7). `None`
     /// means every edge has delay 1. A delay of 0 disables the edge.
-    pub delays: Option<Vec<u64>>,
+    pub delays: Option<&'a [u64]>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -48,7 +52,7 @@ struct Announce {
 }
 
 struct MultiBfsProtocol<'c, F> {
-    cfg: &'c MultiBfsConfig,
+    cfg: &'c MultiBfsConfig<'c>,
     enabled: F,
     /// best[node][src]
     best: Vec<Vec<u64>>,
@@ -59,13 +63,16 @@ struct MultiBfsProtocol<'c, F> {
     /// at which the subdivided path would deliver them:
     /// (release_round, src, dist_at_receiver).
     held: Vec<Vec<(u64, u32, u64)>>,
+    /// Per node: queued announcements across all of its port queues (the
+    /// node's activation signal).
+    node_pending: Vec<u64>,
     pending_queue_items: u64,
 }
 
 impl<F: Fn(EdgeId) -> bool> MultiBfsProtocol<'_, F> {
     fn delay(&self, e: EdgeId, fallback_weight_ignored: u64) -> u64 {
         let _ = fallback_weight_ignored;
-        match &self.cfg.delays {
+        match self.cfg.delays {
             Some(d) => d[e],
             None => 1,
         }
@@ -92,6 +99,7 @@ impl<F: Fn(EdgeId) -> bool> MultiBfsProtocol<'_, F> {
                 continue;
             }
             self.queues[v][pi].push(Reverse((dist, src)));
+            self.node_pending[v] += 1;
             self.pending_queue_items += 1;
         }
     }
@@ -148,6 +156,7 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
         // skipping entries superseded by a later improvement.
         for pi in 0..ports.len() {
             while let Some(Reverse((dist, src))) = self.queues[v][pi].pop() {
+                self.node_pending[v] -= 1;
                 self.pending_queue_items -= 1;
                 if dist > self.best[v][src as usize] {
                     continue; // superseded
@@ -156,10 +165,19 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
                 break;
             }
         }
+        // Queued announcements and held (delayed) arrivals are
+        // self-driven work: re-arm until both drain.
+        if self.node_pending[v] > 0 || !self.held[v].is_empty() {
+            ctx.wake();
+        }
     }
 
     fn idle(&self) -> bool {
         self.pending_queue_items == 0 && self.held.iter().all(|h| h.is_empty())
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
     }
 }
 
@@ -175,23 +193,29 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
 /// `max_rounds`.
 pub fn multi_source_bfs(
     net: &mut Network<'_>,
-    cfg: &MultiBfsConfig,
+    cfg: &MultiBfsConfig<'_>,
     enabled: impl Fn(EdgeId) -> bool,
     phase: &str,
     max_rounds: u64,
 ) -> Result<(Vec<Vec<Dist>>, RunStats), crate::EngineError> {
     let n = net.node_count();
     let k = cfg.sources.len();
-    let degrees: Vec<usize> = (0..n).map(|v| net.ports(v).len()).collect();
+    // Each port queue holds at most one live announcement per source and
+    // each held list at most one delayed arrival per source, so `k` is
+    // the natural pre-reservation for both.
     let mut proto = MultiBfsProtocol {
         cfg,
         enabled,
         best: vec![vec![u64::MAX; k]; n],
-        queues: degrees
-            .iter()
-            .map(|&d| (0..d).map(|_| BinaryHeap::new()).collect())
+        queues: (0..n)
+            .map(|v| {
+                (0..net.ports(v).len())
+                    .map(|_| BinaryHeap::with_capacity(k))
+                    .collect()
+            })
             .collect(),
-        held: vec![Vec::new(); n],
+        held: (0..n).map(|_| Vec::with_capacity(k)).collect(),
+        node_pending: vec![0; n],
         pending_queue_items: 0,
     };
     let stats = net.run_until_quiet(phase, &mut proto, max_rounds)?;
@@ -223,7 +247,7 @@ mod tests {
         let g = random_digraph(n, m, seed);
         let sources: Vec<NodeId> = (0..k).map(|i| (i * 7) % n).collect();
         let cfg = MultiBfsConfig {
-            sources: sources.clone(),
+            sources: &sources,
             max_dist: h,
             reverse: false,
             delays: None,
@@ -257,7 +281,7 @@ mod tests {
     fn reverse_direction() {
         let g = random_digraph(40, 100, 3);
         let cfg = MultiBfsConfig {
-            sources: vec![5, 17],
+            sources: &[5, 17],
             max_dist: 40,
             reverse: true,
             delays: None,
@@ -279,14 +303,13 @@ mod tests {
         b.add_arc(2, 1);
         let g = b.build();
         let cfg = MultiBfsConfig {
-            sources: vec![0],
+            sources: &[0],
             max_dist: 10,
             reverse: false,
             delays: None,
         };
         let mut net = Network::new(&g);
-        let (dist, _) =
-            multi_source_bfs(&mut net, &cfg, |e| e != 0, "mbfs", 100).unwrap();
+        let (dist, _) = multi_source_bfs(&mut net, &cfg, |e| e != 0, "mbfs", 100).unwrap();
         assert_eq!(dist[0][1], Dist::new(2)); // via 2
     }
 
@@ -294,7 +317,7 @@ mod tests {
     fn hop_cap_enforced() {
         let g = random_digraph(40, 80, 4);
         let cfg = MultiBfsConfig {
-            sources: vec![0],
+            sources: &[0],
             max_dist: 2,
             reverse: false,
             delays: None,
@@ -314,10 +337,10 @@ mod tests {
         b.add_arc(2, 1);
         let g = b.build();
         let cfg = MultiBfsConfig {
-            sources: vec![0],
+            sources: &[0],
             max_dist: 10,
             reverse: false,
-            delays: Some(vec![5, 1, 1]),
+            delays: Some(&[5, 1, 1]),
         };
         let mut net = Network::new(&g);
         let (dist, stats) = multi_source_bfs(&mut net, &cfg, |_| true, "mbfs", 100).unwrap();
@@ -333,10 +356,10 @@ mod tests {
         b.add_arc(0, 1);
         let g = b.build();
         let cfg = MultiBfsConfig {
-            sources: vec![0],
+            sources: &[0],
             max_dist: 10,
             reverse: false,
-            delays: Some(vec![0]),
+            delays: Some(&[0]),
         };
         let mut net = Network::new(&g);
         let (dist, _) = multi_source_bfs(&mut net, &cfg, |_| true, "mbfs", 100).unwrap();
@@ -355,10 +378,10 @@ mod tests {
         let g = b.build();
         let delays: Vec<u64> = g.edges().map(|(_, e)| e.weight).collect();
         let cfg = MultiBfsConfig {
-            sources: vec![0],
+            sources: &[0],
             max_dist: 20,
             reverse: false,
-            delays: Some(delays),
+            delays: Some(&delays),
         };
         let mut net = Network::new(&g);
         let (dist, _) = multi_source_bfs(&mut net, &cfg, |_| true, "mbfs", 200).unwrap();

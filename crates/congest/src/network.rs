@@ -1,4 +1,22 @@
 //! The synchronous round engine.
+//!
+//! Two engine-level optimizations keep simulation wall-clock proportional
+//! to *traffic* rather than `Θ(n · rounds)`:
+//!
+//! - **Active-set scheduling**: protocols that opt in via
+//!   [`Protocol::scheduling`] are stepped only at nodes that can act —
+//!   nodes that received a message, nodes in round 0, and nodes that
+//!   explicitly re-armed themselves with [`NodeCtx::wake`]. Unmigrated
+//!   protocols keep the full-sweep behavior.
+//! - **Flat mailbox arenas**: instead of per-node `Vec<Vec<_>>` inboxes
+//!   and a reallocated outbox, one staging buffer is counting-sorted by
+//!   destination into a CSR-bucketed arena each round. Occupancy and
+//!   validity checks use monotonically increasing round generations, so
+//!   nothing is cleared between rounds or phases.
+//!
+//! Both are pure wall-clock optimizations: the delivered messages, their
+//! per-destination order, and all [`RunStats`] accounting are bit-exact
+//! with a full sweep (asserted by `tests/engine_equivalence.rs`).
 
 use std::fmt;
 
@@ -66,6 +84,26 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// How the engine decides which nodes to step each round.
+///
+/// This is part of the [`Protocol`] contract, declared via
+/// [`Protocol::scheduling`]. It affects only which `on_round` calls are
+/// made — never what is delivered, in which order, or what is charged to
+/// [`RunStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Every node is stepped every round (the default, and the reference
+    /// semantics). Correct for any protocol.
+    FullSweep,
+    /// A node is stepped only when it (a) is in round 0, (b) received a
+    /// message delivered this round, or (c) called [`NodeCtx::wake`] in
+    /// the previous round. Protocols opting in must uphold the
+    /// *sweep-agnostic* contract: stepping a node with an empty inbox
+    /// that did not wake itself is a no-op (no sends, no externally
+    /// visible state change).
+    ActiveSet,
+}
+
 /// A node's view of one round: its inbox from the previous round and an
 /// outbox for this round.
 pub struct NodeCtx<'a, M> {
@@ -75,7 +113,10 @@ pub struct NodeCtx<'a, M> {
     pub round: u64,
     ports: &'a [Port],
     inbox: &'a [(u32, M)],
-    outbox: &'a mut Vec<(NodeId, u32, M)>,
+    /// Staged sends; `Option` so the commit phase can move messages into
+    /// the delivery arena without cloning.
+    outbox: &'a mut Vec<(NodeId, u32, Option<M>)>,
+    woke: &'a mut bool,
 }
 
 impl<'a, M> NodeCtx<'a, M> {
@@ -95,10 +136,24 @@ impl<'a, M> NodeCtx<'a, M> {
     ///
     /// The engine enforces the CONGEST constraint when the round is
     /// committed: at most one message per link per direction per round.
+    /// Sending also schedules the receiver for the next round under
+    /// [`Scheduling::ActiveSet`].
     #[inline]
     pub fn send(&mut self, port: u32, msg: M) {
         debug_assert!((port as usize) < self.ports.len(), "port out of range");
-        self.outbox.push((self.node, port, msg));
+        self.outbox.push((self.node, port, Some(msg)));
+    }
+
+    /// Marks this node active for the next round even if it receives no
+    /// message (the explicit arm of the [`Scheduling::ActiveSet`]
+    /// activation contract).
+    ///
+    /// Use it for self-driven work: pending send queues, held/delayed
+    /// messages, or systolic schedules that fire on round numbers rather
+    /// than on receipt. A no-op under [`Scheduling::FullSweep`].
+    #[inline]
+    pub fn wake(&mut self) {
+        *self.woke = true;
     }
 }
 
@@ -106,10 +161,10 @@ impl<'a, M> NodeCtx<'a, M> {
 ///
 /// One `Protocol` value holds the state of *all* nodes (typically as
 /// `Vec`s indexed by `NodeId`); the engine calls [`Protocol::on_round`]
-/// once per node per round. Implementations must only read and write the
-/// state of `ctx.node` — all cross-node information must flow through
-/// messages. The engine cannot enforce this discipline, but it does
-/// enforce the bandwidth constraints on everything that is sent.
+/// once per scheduled node per round. Implementations must only read and
+/// write the state of `ctx.node` — all cross-node information must flow
+/// through messages. The engine cannot enforce this discipline, but it
+/// does enforce the bandwidth constraints on everything that is sent.
 pub trait Protocol {
     /// The message type. Its size in bits is declared via
     /// [`Protocol::msg_bits`] and checked against the network bandwidth.
@@ -128,6 +183,74 @@ pub trait Protocol {
     /// starts). Quiescence requires `idle()` *and* an empty network.
     fn idle(&self) -> bool {
         true
+    }
+
+    /// The scheduling contract this protocol upholds; defaults to the
+    /// always-correct [`Scheduling::FullSweep`]. Override to
+    /// [`Scheduling::ActiveSet`] once `on_round` is sweep-agnostic (see
+    /// [`Scheduling`]) — the engine then skips idle nodes, which is the
+    /// difference between `Θ(n · rounds)` and `Θ(traffic)` simulation
+    /// cost on sparse workloads.
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::FullSweep
+    }
+}
+
+/// Reusable, non-generic engine buffers.
+///
+/// Sized once per network and shared by every phase run on it; validity
+/// is tracked by the monotonically increasing `generation`, so between
+/// rounds and phases nothing needs clearing (the "round-stamped
+/// generations" device).
+struct EngineScratch {
+    /// Monotonic round generation, never reset.
+    generation: u64,
+    /// Per link direction (`2*link + side`): generation of the last send.
+    occupied: Vec<u64>,
+    /// Per node: start of its inbox slice in the arena.
+    inbox_start: Vec<u32>,
+    /// Per node: length of its inbox slice.
+    inbox_len: Vec<u32>,
+    /// Per node: generation at which `inbox_start`/`inbox_len` are valid.
+    inbox_stamp: Vec<u64>,
+    /// Per node: message count this round, then placement cursor.
+    counts: Vec<u32>,
+    /// Per node: generation at which `counts` is valid.
+    count_stamp: Vec<u64>,
+    /// Per node: generation for which the node is already queued to step.
+    active_stamp: Vec<u64>,
+    /// Nodes to step this round (ascending ids), under `ActiveSet`.
+    active: Vec<u32>,
+    /// Nodes queued for the next round (unsorted until the round ends).
+    next_active: Vec<u32>,
+    /// Destinations that received at least one message this round.
+    touched: Vec<u32>,
+    /// Per staged message: destination node.
+    dests: Vec<u32>,
+    /// Per staged message: receiving port at the destination.
+    recv_ports: Vec<u32>,
+    /// Stable counting-sort permutation (arena slot -> staging index).
+    order: Vec<u32>,
+}
+
+impl EngineScratch {
+    fn new(nodes: usize, edges: usize) -> EngineScratch {
+        EngineScratch {
+            generation: 0,
+            occupied: vec![0; 2 * edges],
+            inbox_start: vec![0; nodes],
+            inbox_len: vec![0; nodes],
+            inbox_stamp: vec![0; nodes],
+            counts: vec![0; nodes],
+            count_stamp: vec![0; nodes],
+            active_stamp: vec![0; nodes],
+            active: Vec::new(),
+            next_active: Vec::new(),
+            touched: Vec::new(),
+            dests: Vec::new(),
+            recv_ports: Vec::new(),
+            order: Vec::new(),
+        }
     }
 }
 
@@ -155,6 +278,8 @@ pub struct Network<'g> {
     bandwidth: u64,
     cut: Option<Vec<Side>>,
     metrics: Metrics,
+    scratch: EngineScratch,
+    force_full_sweep: bool,
 }
 
 impl<'g> Network<'g> {
@@ -163,7 +288,17 @@ impl<'g> Network<'g> {
     /// words per message).
     pub fn new(graph: &'g DiGraph) -> Network<'g> {
         let n = graph.node_count();
-        let mut ports: Vec<Vec<Port>> = vec![Vec::new(); n];
+        // Two-pass construction: count degrees first so every per-node
+        // port vector is allocated exactly once.
+        let mut degree = vec![0u32; n];
+        for (_, e) in graph.edges() {
+            degree[e.from] += 1;
+            degree[e.to] += 1;
+        }
+        let mut ports: Vec<Vec<Port>> = degree
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
         let mut edge_ports = vec![(0u32, 0u32); graph.edge_count()];
         for (id, e) in graph.edges() {
             edge_ports[id].0 = ports[e.from].len() as u32;
@@ -189,6 +324,8 @@ impl<'g> Network<'g> {
             bandwidth,
             cut: None,
             metrics: Metrics::default(),
+            scratch: EngineScratch::new(n, graph.edge_count()),
+            force_full_sweep: false,
         }
     }
 
@@ -197,6 +334,17 @@ impl<'g> Network<'g> {
     pub fn with_bandwidth(mut self, bits: u64) -> Network<'g> {
         self.bandwidth = bits;
         self
+    }
+
+    /// Forces every protocol onto the [`Scheduling::FullSweep`] reference
+    /// schedule regardless of its declared contract.
+    ///
+    /// The differential tests use this to check that active-set runs are
+    /// bit-exact with full sweeps; it is also a debugging aid when a
+    /// migrated protocol is suspected of violating the sweep-agnostic
+    /// contract.
+    pub fn set_full_sweep(&mut self, on: bool) {
+        self.force_full_sweep = on;
     }
 
     /// Labels nodes with cut sides for Alice/Bob bit accounting.
@@ -294,14 +442,27 @@ impl<'g> Network<'g> {
 
     fn drive<P: Protocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
         let n = self.graph.node_count();
+        let full_sweep = self.force_full_sweep || proto.scheduling() == Scheduling::FullSweep;
         let mut stats = RunStats::default();
-        let mut inboxes: Vec<Vec<(u32, P::Msg)>> = vec![Vec::new(); n];
-        let mut next: Vec<Vec<(u32, P::Msg)>> = vec![Vec::new(); n];
-        let mut outbox: Vec<(NodeId, u32, P::Msg)> = Vec::new();
-        // Per-round link-direction occupancy; directions are 2*link + side.
-        let mut occupied: Vec<u64> = vec![0; 2 * self.graph.edge_count()];
+        // The only per-drive (message-typed) buffers; both are filled and
+        // drained wholesale, so they stabilize at peak traffic size after
+        // the first few rounds.
+        let mut staging: Vec<(NodeId, u32, Option<P::Msg>)> = Vec::new();
+        let mut arena: Vec<(u32, P::Msg)> = Vec::new();
+        // Split borrows: scratch is mutated while ports/edge_ports/cut
+        // are read, which the compiler allows per-field.
+        let ports = &self.ports;
+        let edge_ports = &self.edge_ports;
+        let cut = &self.cut;
+        let bandwidth = self.bandwidth;
+        let sc = &mut self.scratch;
+        sc.active.clear();
+        sc.next_active.clear();
         let mut round: u64 = 0;
         let mut quiesced = false;
+        // Round 0 sweeps everyone even under ActiveSet (the activation
+        // contract's base case).
+        let mut step_all_next = true;
         loop {
             match budget {
                 Budget::Exact(r) if round >= r => {
@@ -311,24 +472,45 @@ impl<'g> Network<'g> {
                 Budget::UntilQuiet(max) if round >= max => break,
                 _ => {}
             }
-            outbox.clear();
-            for v in 0..n {
+            sc.generation += 1;
+            let g = sc.generation;
+            let step_all = full_sweep || step_all_next;
+            let step_count = if step_all { n } else { sc.active.len() };
+            for i in 0..step_count {
+                let v = if step_all { i } else { sc.active[i] as usize };
+                let inbox: &[(u32, P::Msg)] = if sc.inbox_stamp[v] == g {
+                    let start = sc.inbox_start[v] as usize;
+                    &arena[start..start + sc.inbox_len[v] as usize]
+                } else {
+                    &[]
+                };
+                let mut woke = false;
                 let mut ctx = NodeCtx {
                     node: v,
                     round,
-                    ports: &self.ports[v],
-                    inbox: &inboxes[v],
-                    outbox: &mut outbox,
+                    ports: &ports[v],
+                    inbox,
+                    outbox: &mut staging,
+                    woke: &mut woke,
                 };
                 proto.on_round(&mut ctx);
+                if woke && !full_sweep && sc.active_stamp[v] != g + 1 {
+                    sc.active_stamp[v] = g + 1;
+                    sc.next_active.push(v as u32);
+                }
             }
-            let sent = outbox.len() as u64;
-            for (sender, port_idx, msg) in outbox.drain(..) {
-                let port = self.ports[sender][port_idx as usize];
+            // Commit phase: enforce CONGEST, account bits, and count
+            // messages per destination (first pass of the counting sort).
+            let sent = staging.len() as u64;
+            sc.touched.clear();
+            sc.dests.clear();
+            sc.recv_ports.clear();
+            for &(sender, port_idx, ref msg) in staging.iter() {
+                let port = ports[sender][port_idx as usize];
                 let dir = 2 * port.link + usize::from(!port.outgoing);
                 assert_ne!(
-                    occupied[dir],
-                    round + 1,
+                    sc.occupied[dir],
+                    g,
                     "CONGEST violation: two messages on link {} direction {} in round {} \
                      (sender {})",
                     port.link,
@@ -336,45 +518,97 @@ impl<'g> Network<'g> {
                     round,
                     sender
                 );
-                occupied[dir] = round + 1;
-                let bits = proto.msg_bits(&msg);
+                sc.occupied[dir] = g;
+                let bits = proto.msg_bits(msg.as_ref().expect("staged message present"));
                 assert!(
-                    bits <= self.bandwidth,
-                    "CONGEST violation: {bits}-bit message exceeds bandwidth {} (sender {sender})",
-                    self.bandwidth
+                    bits <= bandwidth,
+                    "CONGEST violation: {bits}-bit message exceeds bandwidth {bandwidth} \
+                     (sender {sender})",
                 );
                 stats.messages += 1;
                 stats.bits += bits;
                 stats.max_message_bits = stats.max_message_bits.max(bits);
-                if let Some(cut) = &self.cut {
+                if let Some(cut) = cut {
                     let a = cut[sender];
                     let b = cut[port.peer];
                     if a != b && a != Side::Neutral && b != Side::Neutral {
                         stats.cut_bits += bits;
                     }
                 }
-                let recv_port = if port.outgoing {
-                    self.edge_ports[port.link].1
+                let dest = port.peer;
+                sc.dests.push(dest as u32);
+                sc.recv_ports.push(if port.outgoing {
+                    edge_ports[port.link].1
                 } else {
-                    self.edge_ports[port.link].0
-                };
-                next[port.peer].push((recv_port, msg));
+                    edge_ports[port.link].0
+                });
+                if sc.count_stamp[dest] != g {
+                    sc.count_stamp[dest] = g;
+                    sc.counts[dest] = 0;
+                    sc.touched.push(dest as u32);
+                }
+                sc.counts[dest] += 1;
+                // Receiving a message activates the destination.
+                if !full_sweep && sc.active_stamp[dest] != g + 1 {
+                    sc.active_stamp[dest] = g + 1;
+                    sc.next_active.push(dest as u32);
+                }
             }
+            // CSR offsets for the next round's inboxes; `counts` becomes
+            // the placement cursor.
+            let mut offset: u32 = 0;
+            for &d in &sc.touched {
+                let d = d as usize;
+                sc.inbox_start[d] = offset;
+                sc.inbox_len[d] = sc.counts[d];
+                sc.inbox_stamp[d] = g + 1;
+                offset += sc.counts[d];
+                sc.counts[d] = 0;
+            }
+            // Stable counting sort: arena slot -> staging index, then one
+            // linear pass materializes the grouped inboxes.
+            sc.order.clear();
+            sc.order.resize(staging.len(), 0);
+            for (i, &d) in sc.dests.iter().enumerate() {
+                let d = d as usize;
+                let slot = (sc.inbox_start[d] + sc.counts[d]) as usize;
+                sc.counts[d] += 1;
+                sc.order[slot] = i as u32;
+            }
+            arena.clear();
+            arena.extend(sc.order.iter().map(|&i| {
+                let msg = staging[i as usize]
+                    .2
+                    .take()
+                    .expect("each staged message is delivered exactly once");
+                (sc.recv_ports[i as usize], msg)
+            }));
+            staging.clear();
             round += 1;
-            for v in 0..n {
-                inboxes[v].clear();
+            if !full_sweep {
+                // Stepping a superset of the active set is always exact
+                // (the sweep-agnostic contract), so on traffic-dense
+                // rounds skip the sort and sweep everyone — active-set
+                // bookkeeping then costs nothing when it cannot win.
+                step_all_next = 8 * sc.next_active.len() >= n;
+                if !step_all_next {
+                    // Ascending node order keeps send order — and
+                    // therefore per-destination inbox order — identical
+                    // to a full sweep.
+                    sc.next_active.sort_unstable();
+                    std::mem::swap(&mut sc.active, &mut sc.next_active);
+                }
+                sc.next_active.clear();
             }
-            std::mem::swap(&mut inboxes, &mut next);
-            if matches!(budget, Budget::UntilQuiet(_))
-                && sent == 0
-                && inboxes.iter().all(|i| i.is_empty())
-                && proto.idle()
-            {
+            if matches!(budget, Budget::UntilQuiet(_)) && sent == 0 && proto.idle() {
                 quiesced = true;
                 break;
             }
         }
         stats.rounds = round;
+        // Invalidate the final round's stamps so the next phase on this
+        // network cannot observe stale inboxes or activations.
+        sc.generation += 1;
         (stats, quiesced)
     }
 }
@@ -401,8 +635,21 @@ mod tests {
     use graphkit::GraphBuilder;
 
     /// Floods a token from node 0; each node records the round it heard it.
+    ///
+    /// Message-driven, so it upholds the `ActiveSet` contract with no
+    /// explicit wakes.
     struct Flood {
         heard: Vec<Option<u64>>,
+        scheduling: Scheduling,
+    }
+
+    impl Flood {
+        fn new(n: usize) -> Flood {
+            Flood {
+                heard: vec![None; n],
+                scheduling: Scheduling::ActiveSet,
+            }
+        }
     }
 
     impl Protocol for Flood {
@@ -429,6 +676,10 @@ mod tests {
                 }
             }
         }
+
+        fn scheduling(&self) -> Scheduling {
+            self.scheduling
+        }
     }
 
     fn line(n: usize) -> DiGraph {
@@ -443,9 +694,7 @@ mod tests {
     fn flood_reaches_everyone_in_ecc_rounds() {
         let g = line(6);
         let mut net = Network::new(&g);
-        let mut p = Flood {
-            heard: vec![None; 6],
-        };
+        let mut p = Flood::new(6);
         let stats = net.run_until_quiet("flood", &mut p, 100).unwrap();
         for (v, h) in p.heard.iter().enumerate() {
             assert_eq!(*h, Some(v as u64), "node {v}");
@@ -463,9 +712,7 @@ mod tests {
         b.add_arc(2, 1);
         let g = b.build();
         let mut net = Network::new(&g);
-        let mut p = Flood {
-            heard: vec![None; 3],
-        };
+        let mut p = Flood::new(3);
         net.run_until_quiet("flood", &mut p, 100).unwrap();
         assert!(p.heard.iter().all(|h| h.is_some()));
     }
@@ -474,9 +721,7 @@ mod tests {
     fn exact_budget_charges_full_rounds() {
         let g = line(4);
         let mut net = Network::new(&g);
-        let mut p = Flood {
-            heard: vec![None; 4],
-        };
+        let mut p = Flood::new(4);
         let stats = net.run_rounds("flood", &mut p, 50);
         assert_eq!(stats.rounds, 50);
     }
@@ -485,13 +730,91 @@ mod tests {
     fn round_limit_is_an_error() {
         let g = line(10);
         let mut net = Network::new(&g);
-        let mut p = Flood {
-            heard: vec![None; 10],
-        };
+        let mut p = Flood::new(10);
         let err = net.run_until_quiet("flood", &mut p, 3);
         assert_eq!(err, Err(EngineError::RoundLimitExceeded { max_rounds: 3 }));
         // Node 9 cannot have heard anything within 3 rounds.
         assert!(p.heard[9].is_none());
+    }
+
+    #[test]
+    fn active_set_matches_full_sweep_exactly() {
+        for n in [2usize, 5, 9, 16] {
+            let g = line(n);
+            let mut active = Network::new(&g);
+            let mut pa = Flood::new(n);
+            let sa = active.run_until_quiet("flood", &mut pa, 100).unwrap();
+            let mut swept = Network::new(&g);
+            swept.set_full_sweep(true);
+            let mut ps = Flood::new(n);
+            let ss = swept.run_until_quiet("flood", &mut ps, 100).unwrap();
+            assert_eq!(sa, ss, "stats diverged at n = {n}");
+            assert_eq!(pa.heard, ps.heard, "results diverged at n = {n}");
+        }
+    }
+
+    /// A protocol whose only activity is self-driven: node 0 wakes itself
+    /// and sends one message every `period` rounds, with no inbox traffic
+    /// to reactivate it.
+    struct Metronome {
+        period: u64,
+        ticks_heard: u64,
+    }
+
+    impl Protocol for Metronome {
+        type Msg = ();
+
+        fn msg_bits(&self, _: &()) -> u64 {
+            1
+        }
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            if ctx.node == 0 {
+                if ctx.round.is_multiple_of(self.period) {
+                    ctx.send(0, ());
+                }
+                ctx.wake();
+            } else if !ctx.inbox().is_empty() {
+                self.ticks_heard += 1;
+            }
+        }
+
+        fn idle(&self) -> bool {
+            true
+        }
+
+        fn scheduling(&self) -> Scheduling {
+            Scheduling::ActiveSet
+        }
+    }
+
+    #[test]
+    fn wake_keeps_a_quiet_node_scheduled() {
+        let g = line(2);
+        let mut net = Network::new(&g);
+        let mut p = Metronome {
+            period: 3,
+            ticks_heard: 0,
+        };
+        let stats = net.run_rounds("metronome", &mut p, 10);
+        // Sends at rounds 0, 3, 6, 9; the round-9 send is not observed.
+        assert_eq!(stats.messages, 4);
+        assert_eq!(p.ticks_heard, 3);
+    }
+
+    #[test]
+    fn arena_is_reusable_across_phases() {
+        // Two protocol runs on one network: generation stamping must not
+        // leak the first run's final-round messages into the second.
+        let g = line(5);
+        let mut net = Network::new(&g);
+        let mut p1 = Flood::new(5);
+        net.run_until_quiet("first", &mut p1, 100).unwrap();
+        let mut p2 = Flood::new(5);
+        let stats2 = net.run_until_quiet("second", &mut p2, 100).unwrap();
+        assert_eq!(p2.heard, (0..5).map(|v| Some(v as u64)).collect::<Vec<_>>());
+        // Same topology, same protocol: both phases cost the same.
+        assert_eq!(net.metrics().phase_total("first"), stats2);
     }
 
     struct DoubleSend;
@@ -561,13 +884,49 @@ mod tests {
     }
 
     #[test]
+    fn inbox_order_groups_by_sender_id() {
+        // Three spokes send to a hub in one round; the hub's inbox must
+        // list them in ascending sender id (the full-sweep send order),
+        // regardless of scheduling.
+        struct Spokes {
+            seen: Vec<u32>,
+        }
+        impl Protocol for Spokes {
+            type Msg = u32;
+            fn msg_bits(&self, _: &u32) -> u64 {
+                8
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_, u32>) {
+                if ctx.round == 0 && ctx.node != 0 {
+                    ctx.send(0, ctx.node as u32);
+                }
+                if ctx.node == 0 {
+                    for &(_, m) in ctx.inbox() {
+                        self.seen.push(m);
+                    }
+                }
+            }
+            fn scheduling(&self) -> Scheduling {
+                Scheduling::ActiveSet
+            }
+        }
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(3, 0);
+        b.add_arc(1, 0);
+        b.add_arc(2, 0);
+        let g = b.build();
+        let mut net = Network::new(&g);
+        let mut p = Spokes { seen: Vec::new() };
+        net.run_rounds("spokes", &mut p, 2);
+        assert_eq!(p.seen, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn cut_accounting_counts_crossing_bits() {
         let g = line(4);
         let mut net = Network::new(&g);
         net.set_cut(vec![Side::Alice, Side::Alice, Side::Bob, Side::Bob]);
-        let mut p = Flood {
-            heard: vec![None; 4],
-        };
+        let mut p = Flood::new(4);
         let stats = net.run_until_quiet("flood", &mut p, 100).unwrap();
         // Only link 1<->2 crosses; flooding sends once in each direction
         // eventually, but node 2 hears before sending back, so exactly the

@@ -16,7 +16,7 @@
 
 use graphkit::{Dist, EdgeId, NodeId};
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol};
+use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 use crate::RunStats;
 
 fn dist_bits(d: Dist) -> u64 {
@@ -110,6 +110,13 @@ impl Protocol for DiagonalDp<'_> {
         if pos == usize::MAX {
             return;
         }
+        // The systolic schedule fires on round numbers, not on receipt
+        // (position 0 never receives anything): every lane vertex stays
+        // armed until the last fold step. Off-lane nodes fall out of the
+        // active set after round 0.
+        if ctx.round < self.rounds {
+            ctx.wake();
+        }
         // Step r: fold the predecessor's value (sent in round r-1) and the
         // local term for step r, then forward.
         if ctx.round > 0 {
@@ -117,21 +124,17 @@ impl Protocol for DiagonalDp<'_> {
             if step > self.rounds {
                 return;
             }
-            let received = ctx
-                .inbox()
-                .first()
-                .map(|&(_, d)| d)
-                .unwrap_or(Dist::INF);
+            let received = ctx.inbox().first().map(|&(_, d)| d).unwrap_or(Dist::INF);
             let local = (self.input)(pos, step);
-            self.cur[pos] = if pos == 0 {
-                local
-            } else {
-                received.min(local)
-            };
+            self.cur[pos] = if pos == 0 { local } else { received.min(local) };
         }
         if ctx.round < self.rounds && pos + 1 < self.lane.nodes.len() {
             ctx.send(self.send_ports[pos], self.cur[pos]);
         }
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
     }
 }
 
@@ -232,15 +235,23 @@ impl Protocol for PrefixSweep<'_> {
         for i in 0..self.placements[v].len() {
             let pl = self.placements[v][i];
             let (lane_idx, pos) = (pl.lane as usize, pl.pos as usize);
-            if pl.send_port == u32::MAX || r < pos as u64 {
+            if pl.send_port == u32::MAX {
+                continue;
+            }
+            // The staggered schedule is round-driven (job j departs at
+            // round j + pos whether or not anything arrived), so the
+            // node re-arms itself until its last departure round.
+            if self.jobs > 0 && r < pos as u64 + self.jobs as u64 - 1 {
+                ctx.wake();
+            }
+            if r < pos as u64 {
                 continue;
             }
             let job = (r - pos as u64) as usize;
             if job >= self.jobs {
                 continue;
             }
-            let acc =
-                self.received[lane_idx][pos][job].min((self.input)(lane_idx, pos, job));
+            let acc = self.received[lane_idx][pos][job].min((self.input)(lane_idx, pos, job));
             if acc.is_finite() {
                 ctx.send(
                     pl.send_port,
@@ -255,6 +266,10 @@ impl Protocol for PrefixSweep<'_> {
 
     fn idle(&self) -> bool {
         true
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
     }
 }
 
@@ -376,7 +391,11 @@ mod tests {
             let prev = reference.clone();
             for p in 0..n {
                 let local = Dist::new(table[p][r as usize]);
-                reference[p] = if p == 0 { local } else { prev[p - 1].min(local) };
+                reference[p] = if p == 0 {
+                    local
+                } else {
+                    prev[p - 1].min(local)
+                };
             }
         }
         assert_eq!(cur, reference);

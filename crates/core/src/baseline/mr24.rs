@@ -59,7 +59,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
 
     // --- Short detours: ζ'-hop BFS from all of P, untrimmed. ---
     let cfg = MultiBfsConfig {
-        sources: inst.path.nodes().to_vec(),
+        sources: inst.path.nodes(),
         max_dist: zeta as u64,
         reverse: true, // v_i learns d(v_i -> v_j) for every j
         delays: None,
@@ -110,7 +110,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
         vec![Dist::INF; h]
     } else {
         let fwd_cfg = MultiBfsConfig {
-            sources: lms.clone(),
+            sources: &lms,
             max_dist: zeta as u64,
             reverse: false,
             delays: None,
@@ -124,7 +124,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
         )
         .expect("landmark BFS quiesces");
         let bwd_cfg = MultiBfsConfig {
-            sources: lms.clone(),
+            sources: &lms,
             max_dist: zeta as u64,
             reverse: true,
             delays: None,
@@ -204,8 +204,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
             for j in 0..k {
                 for mid in 0..k {
                     exact_to[i][j] = exact_to[i][j].min(path_to[i][mid] + closure[mid][j]);
-                    exact_from[i][j] =
-                        exact_from[i][j].min(closure[j][mid] + path_from[i][mid]);
+                    exact_from[i][j] = exact_from[i][j].min(closure[j][mid] + path_from[i][mid]);
                 }
             }
         }
@@ -259,7 +258,11 @@ mod tests {
             let mut params = Params::with_zeta(40, 5).with_seed(seed);
             params.landmark_prob = 1.0;
             let out = solve(&inst, &params);
-            assert_eq!(out.replacement, replacement_lengths(&g, &inst.path), "seed {seed}");
+            assert_eq!(
+                out.replacement,
+                replacement_lengths(&g, &inst.path),
+                "seed {seed}"
+            );
         }
     }
 

@@ -12,7 +12,6 @@ use congest::broadcast::broadcast;
 use congest::multi_bfs::{multi_source_bfs, MultiBfsConfig};
 use congest::{word_bits, Network};
 
-
 use crate::{Instance, Params, RPathsOutput};
 
 /// Runs the naive per-edge-BFS algorithm. Exact; `O(h_st · T_BFS + D)`
@@ -25,7 +24,7 @@ pub fn solve(inst: &Instance<'_>, _params: &Params) -> RPathsOutput {
     let mut replacement = Vec::with_capacity(inst.hops());
     for (i, &banned) in inst.path.edges().iter().enumerate() {
         let cfg = MultiBfsConfig {
-            sources: vec![inst.s()],
+            sources: &[inst.s()],
             max_dist: n,
             reverse: false,
             delays: None,
@@ -81,11 +80,15 @@ mod tests {
     fn rounds_scale_with_hops() {
         let (g1, s1, t1) = parallel_lane(8, 2, 1);
         let inst1 = Instance::from_endpoints(&g1, s1, t1).unwrap();
-        let r1 = solve(&inst1, &Params::for_instance(&inst1)).metrics.rounds();
+        let r1 = solve(&inst1, &Params::for_instance(&inst1))
+            .metrics
+            .rounds();
 
         let (g2, s2, t2) = parallel_lane(32, 2, 1);
         let inst2 = Instance::from_endpoints(&g2, s2, t2).unwrap();
-        let r2 = solve(&inst2, &Params::for_instance(&inst2)).metrics.rounds();
+        let r2 = solve(&inst2, &Params::for_instance(&inst2))
+            .metrics
+            .rounds();
 
         // 4x the hops (and similar per-BFS depth) should cost much more
         // than 4x the rounds of the short instance.

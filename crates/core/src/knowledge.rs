@@ -20,7 +20,7 @@
 
 use congest::bfs_tree::BfsTree;
 use congest::broadcast::broadcast;
-use congest::{word_bits, Network, NodeCtx, Protocol};
+use congest::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 use graphkit::{Dist, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +127,13 @@ impl Protocol for WaveProtocol<'_> {
             }
         }
     }
+
+    // Waves are seeded in round 0 and then advance strictly on receipt
+    // (forwarded the same round they arrive), so receipt-driven stepping
+    // is exact.
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
 }
 
 /// A broadcast item describing the sampled chain.
@@ -154,7 +161,12 @@ fn chain_item_bits(item: &ChainItem) -> u64 {
             to,
             hops,
             weight,
-        } => 2 + word_bits(*from as u64) + word_bits(*to as u64) + word_bits(*hops) + word_bits(*weight),
+        } => {
+            2 + word_bits(*from as u64)
+                + word_bits(*to as u64)
+                + word_bits(*hops)
+                + word_bits(*weight)
+        }
     }
 }
 
@@ -171,7 +183,7 @@ pub fn acquire(
 ) -> PathKnowledge {
     let n = inst.n();
     let h = inst.hops();
-    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xfeed_2_5);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x00fe_ed25);
     let p_sample = 1.0 / (n as f64).sqrt();
     let mut sampled = vec![false; h + 1];
     sampled[0] = true;
@@ -214,7 +226,7 @@ pub fn acquire(
             });
         }
     }
-    let (delivered, _) = broadcast(net, tree, items, |i| chain_item_bits(i), "lemma2.5/broadcast");
+    let (delivered, _) = broadcast(net, tree, items, chain_item_bits, "lemma2.5/broadcast");
 
     // Phase 3: local reconstruction at each path vertex. All vertices
     // received the same stream; reconstruct once and read off per-vertex
@@ -283,8 +295,8 @@ pub fn acquire(
 mod tests {
     use super::*;
     use congest::bfs_tree::build_bfs_tree;
-    use graphkit::gen::{parallel_lane, planted_path_digraph, random_weighted_digraph};
     use graphkit::alg::shortest_st_path;
+    use graphkit::gen::{parallel_lane, planted_path_digraph, random_weighted_digraph};
 
     fn check(inst: &Instance<'_>, params: &Params) {
         let mut net = Network::new(inst.graph);

@@ -64,7 +64,7 @@ pub fn landmark_distances(
 
     // ζ-hop BFS from all landmarks, forwards and backwards, in G \ P.
     let fwd_cfg = MultiBfsConfig {
-        sources: landmarks.to_vec(),
+        sources: landmarks,
         max_dist: zeta,
         reverse: false,
         delays: None,
@@ -78,7 +78,7 @@ pub fn landmark_distances(
     )
     .expect("landmark BFS quiesces");
     let bwd_cfg = MultiBfsConfig {
-        sources: landmarks.to_vec(),
+        sources: landmarks,
         max_dist: zeta,
         reverse: true,
         delays: None,

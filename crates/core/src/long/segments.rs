@@ -256,11 +256,7 @@ mod tests {
             .collect()
     }
 
-    fn setup(
-        h: usize,
-        zeta: usize,
-        seed: u64,
-    ) -> (graphkit::DiGraph, usize, usize, Params) {
+    fn setup(h: usize, zeta: usize, seed: u64) -> (graphkit::DiGraph, usize, usize, Params) {
         let (g, s, t) = planted_path_digraph(3 * h + 10, h, 6 * h, seed);
         let params = Params::with_zeta(3 * h + 10, zeta);
         (g, s, t, params)

@@ -101,12 +101,8 @@ mod tests {
         let g = inst.graph;
         (0..=h)
             .map(|i| {
-                let from_vi = bfs_hop_bounded(
-                    g,
-                    &[inst.path.node(i)],
-                    zeta,
-                    |e| !inst.is_path_edge[e],
-                );
+                let from_vi =
+                    bfs_hop_bounded(g, &[inst.path.node(i)], zeta, |e| !inst.is_path_edge[e]);
                 // X[i, j] = h - (j - i) + detour(i, j), detour <= ζ hops.
                 let mut out = vec![Dist::INF; zeta];
                 for d in (1..=zeta.min(h - i)).rev() {

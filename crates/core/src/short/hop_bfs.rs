@@ -22,7 +22,7 @@
 //! Section 7: an edge of delay `w` behaves like `w` unit hops, which the
 //! receiver models by holding the message `w - 1` extra rounds.
 
-use congest::{word_bits, Network, NodeCtx, Protocol};
+use congest::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 use graphkit::{EdgeId, NodeId};
 
 use crate::Instance;
@@ -116,6 +116,21 @@ impl Protocol for HopBfsProtocol<'_, '_> {
     }
 
     fn on_round(&mut self, ctx: &mut NodeCtx<'_, Token>) {
+        self.step(ctx);
+        // Held (delayed-edge) candidates mature on round numbers, not on
+        // receipt: stay armed until they are all released.
+        if !self.held[ctx.node].is_empty() {
+            ctx.wake();
+        }
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
+}
+
+impl HopBfsProtocol<'_, '_> {
+    fn step(&mut self, ctx: &mut NodeCtx<'_, Token>) {
         let v = ctx.node;
         let round = ctx.round;
         if round > self.cfg.zeta as u64 {
@@ -189,10 +204,6 @@ impl Protocol for HopBfsProtocol<'_, '_> {
             }
         }
     }
-
-    fn idle(&self) -> bool {
-        true
-    }
 }
 
 /// Runs Lemma 4.2 (or its mirror) and returns the `f*` tables for all
@@ -204,7 +215,11 @@ pub fn hop_constrained_bfs(
     phase: &str,
 ) -> FStar {
     let n = inst.n();
-    assert_eq!(cfg.aux.len(), inst.hops() + 1, "one aux word per path vertex");
+    assert_eq!(
+        cfg.aux.len(),
+        inst.hops() + 1,
+        "one aux word per path vertex"
+    );
     if let Some(d) = cfg.delays {
         assert_eq!(d.len(), inst.graph.edge_count());
     }
@@ -244,7 +259,7 @@ mod tests {
                 }
                 if let Some(j) = best[d - 1][edge.to] {
                     let cur = &mut best[d][edge.from];
-                    if cur.map_or(true, |c| j > c) {
+                    if cur.is_none_or(|c| j > c) {
                         *cur = Some(j);
                     }
                 }

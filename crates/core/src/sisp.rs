@@ -107,7 +107,11 @@ mod tests {
             let mut params = Params::with_zeta(40, 5).with_seed(seed);
             params.landmark_prob = 1.0;
             let out = solve(&inst, &params);
-            assert_eq!(out.value, second_simple_shortest(&g, &inst.path), "seed {seed}");
+            assert_eq!(
+                out.value,
+                second_simple_shortest(&g, &inst.path),
+                "seed {seed}"
+            );
         }
     }
 
@@ -116,12 +120,20 @@ mod tests {
         // The Ω(D) family: 2-SiSP is d+1 when the long path is intact,
         // infinite when an edge is reversed.
         let intact = theorem2_family(8, None);
-        let inst = Instance::new(&intact.graph, graphkit::StPath::from_nodes(&intact.graph, &intact.short_path).unwrap()).unwrap();
+        let inst = Instance::new(
+            &intact.graph,
+            graphkit::StPath::from_nodes(&intact.graph, &intact.short_path).unwrap(),
+        )
+        .unwrap();
         let params = Params::with_zeta(inst.n(), inst.n());
         assert_eq!(solve(&inst, &params).value, Dist::new(9));
 
         let broken = theorem2_family(8, Some(4));
-        let inst = Instance::new(&broken.graph, graphkit::StPath::from_nodes(&broken.graph, &broken.short_path).unwrap()).unwrap();
+        let inst = Instance::new(
+            &broken.graph,
+            graphkit::StPath::from_nodes(&broken.graph, &broken.short_path).unwrap(),
+        )
+        .unwrap();
         assert_eq!(solve(&inst, &params).value, Dist::INF);
     }
 

@@ -154,18 +154,13 @@ mod tests {
         let h = inst.hops();
         (0..=h)
             .map(|i| {
-                let from_vi = hop_bounded_dists(
-                    inst.graph,
-                    inst.path.node(i),
-                    zeta,
-                    |e| inst.in_g_minus_p(e),
-                );
+                let from_vi = hop_bounded_dists(inst.graph, inst.path.node(i), zeta, |e| {
+                    inst.in_g_minus_p(e)
+                });
                 let mut best = vec![Dist::INF; h + 1];
                 for j in 0..=h {
                     if j > i {
-                        best[j] = inst.prefix[i]
-                            + from_vi[inst.path.node(j)]
-                            + inst.suffix[j];
+                        best[j] = inst.prefix[i] + from_vi[inst.path.node(j)] + inst.suffix[j];
                     }
                 }
                 let mut out = vec![Dist::INF; h + 2];
@@ -231,13 +226,16 @@ mod tests {
                         let y = unrestricted[i][j]
                             .finite()
                             .expect("finite candidate implies a real path");
-                        assert!(g_val >= y * apx.den, "seed {seed} ({i},{j}): shrunk below Y");
+                        assert!(
+                            g_val >= y * apx.den,
+                            "seed {seed} ({i},{j}): shrunk below Y"
+                        );
                     }
                     // Approximation: at most (1+ε)·X({i},[j,∞)) (ε = 1/2).
                     if let Some(w) = oracle[i][j].finite() {
-                        let g_val = got.finite().unwrap_or_else(|| {
-                            panic!("seed {seed} ({i},{j}): missing candidate")
-                        });
+                        let g_val = got
+                            .finite()
+                            .unwrap_or_else(|| panic!("seed {seed} ({i},{j}): missing candidate"));
                         assert!(
                             g_val * 2 <= w * apx.den * 3,
                             "seed {seed} ({i},{j}): {g_val} > 1.5·{w}·{}",

@@ -64,7 +64,7 @@ pub fn solve_short_apx(
         let (l, r) = iv[lane];
         let k = l + pos;
         let i = l + job;
-        if i <= r && i + 1 <= h && k <= r {
+        if i <= r && i < h && k <= r {
             apx.fwd[k][i + 1]
         } else {
             Dist::INF
@@ -99,7 +99,7 @@ pub fn solve_short_apx(
         }
         let i = r - job; // target edge index
         let k = r - pos;
-        if k >= i + 1 {
+        if k > i {
             apx.bwd[k][i]
         } else {
             Dist::INF
@@ -223,10 +223,9 @@ mod tests {
         let h = inst.hops();
         let mut best = vec![Dist::INF; h];
         for k in 0..h {
-            let from_vk =
-                hop_bounded_dists(inst.graph, inst.path.node(k), zeta, |e| {
-                    inst.in_g_minus_p(e)
-                });
+            let from_vk = hop_bounded_dists(inst.graph, inst.path.node(k), zeta, |e| {
+                inst.in_g_minus_p(e)
+            });
             for j in k + 1..=h {
                 let len = inst.prefix[k] + from_vk[inst.path.node(j)] + inst.suffix[j];
                 if !len.is_finite() {

@@ -35,10 +35,10 @@ pub fn approx_hop_multi_source(
     let mut best = vec![vec![Dist::INF; n]; k];
     for scale in &set.scales {
         let cfg = MultiBfsConfig {
-            sources: sources.to_vec(),
+            sources,
             max_dist: set.hop_cap,
             reverse,
-            delays: Some(scale.delays.clone()),
+            delays: Some(&scale.delays),
         };
         let budget = default_budget(k, set.hop_cap).max(4 * set.hop_cap + 4 * k as u64 + 64);
         let (hops, _) = multi_source_bfs(

@@ -52,7 +52,12 @@ impl ApxOutput {
 
     /// Checks the Theorem 3 guarantee against exact oracle values using
     /// exact rational arithmetic: `oracle ≤ x ≤ (1+ε)·oracle`.
-    pub fn check_guarantee(&self, oracle: &[Dist], eps_num: u64, eps_den: u64) -> Result<(), String> {
+    pub fn check_guarantee(
+        &self,
+        oracle: &[Dist],
+        eps_num: u64,
+        eps_den: u64,
+    ) -> Result<(), String> {
         if oracle.len() != self.scaled.len() {
             return Err("length mismatch".into());
         }

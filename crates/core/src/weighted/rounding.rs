@@ -131,7 +131,10 @@ mod tests {
         let p = params_eps(1, 2);
         let set = ScaleSet::build(&g, &p, 5);
         let max_d = set.scales.last().unwrap().d;
-        assert!(max_d >= 600, "largest scale {max_d} must cover total weight");
+        assert!(
+            max_d >= 600,
+            "largest scale {max_d} must cover total weight"
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ mod tests {
     fn reverse_matches_forward_on_reversed() {
         let g = weighted_diamond();
         let rev = g.reversed();
-        assert_eq!(dijkstra_reverse(&g, 3, |_| true), dijkstra(&rev, 3, |_| true));
+        assert_eq!(
+            dijkstra_reverse(&g, 3, |_| true),
+            dijkstra(&rev, 3, |_| true)
+        );
     }
 
     #[test]

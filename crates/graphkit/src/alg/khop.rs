@@ -52,7 +52,11 @@ fn relax_rounds(
             if !filter(id) {
                 continue;
             }
-            let (src, dst) = if reverse { (e.to, e.from) } else { (e.from, e.to) };
+            let (src, dst) = if reverse {
+                (e.to, e.from)
+            } else {
+                (e.from, e.to)
+            };
             let cand = snapshot[src] + e.weight;
             if cand < dist[dst] {
                 dist[dst] = cand;

@@ -40,7 +40,12 @@ pub fn random_digraph(n: usize, extra_edges: usize, seed: u64) -> DiGraph {
 /// # Panics
 ///
 /// Panics if `n == 0` or `max_weight == 0`.
-pub fn random_weighted_digraph(n: usize, extra_edges: usize, max_weight: u64, seed: u64) -> DiGraph {
+pub fn random_weighted_digraph(
+    n: usize,
+    extra_edges: usize,
+    max_weight: u64,
+    seed: u64,
+) -> DiGraph {
     assert!(max_weight > 0, "max_weight must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -80,7 +85,7 @@ pub fn planted_path_digraph(
     seed: u64,
 ) -> (DiGraph, NodeId, NodeId) {
     assert!(h >= 1, "path must have at least one edge");
-    assert!(n >= h + 1, "need at least h + 1 vertices");
+    assert!(n > h, "need at least h + 1 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Path vertices 0..=h with pot(i) = i.
@@ -142,7 +147,7 @@ pub fn random_reachable_pair(graph: &DiGraph, seed: u64) -> Option<(NodeId, Node
                 continue;
             }
             if let Some(d) = dist[t].finite() {
-                if best.map_or(true, |(_, _, bd)| d > bd) {
+                if best.is_none_or(|(_, _, bd)| d > bd) {
                     best = Some((s, t, d));
                 }
             }
@@ -190,7 +195,10 @@ mod tests {
         for seed in 0..5 {
             let g = random_digraph(40, 80, seed);
             assert_eq!(g.node_count(), 40);
-            assert!(undirected_diameter(&g).is_some(), "seed {seed} disconnected");
+            assert!(
+                undirected_diameter(&g).is_some(),
+                "seed {seed} disconnected"
+            );
         }
     }
 
@@ -198,10 +206,7 @@ mod tests {
     fn random_digraph_is_deterministic() {
         let a = random_digraph(30, 50, 7);
         let c = random_digraph(30, 50, 7);
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            c.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl fmt::Display for PathError {
         match self {
             PathError::Empty => write!(f, "path must contain at least one edge"),
             PathError::Disconnected { position } => {
-                write!(f, "edges at positions {} and {} do not meet", position, position + 1)
+                write!(
+                    f,
+                    "edges at positions {} and {} do not meet",
+                    position,
+                    position + 1
+                )
             }
             PathError::RepeatedVertex(v) => write!(f, "vertex {v} repeats; P must be simple"),
             PathError::NotShortest {
@@ -100,7 +105,9 @@ impl StPath {
         for (i, &e) in edges.iter().enumerate() {
             let edge = graph.edge(e);
             if edge.from != *nodes.last().expect("nodes is non-empty") {
-                return Err(PathError::Disconnected { position: i.saturating_sub(1) });
+                return Err(PathError::Disconnected {
+                    position: i.saturating_sub(1),
+                });
             }
             nodes.push(edge.to);
         }

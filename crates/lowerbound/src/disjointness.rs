@@ -46,7 +46,14 @@ pub struct ReductionOutcome {
 ///
 /// `y` is interpreted as the matrix `M` via the lexicographic map, so
 /// `disj(x, y) = 0` iff some index `i` has `x_i = y_i = 1`.
-pub fn run_reduction(k: usize, d: usize, p: usize, x: &[bool], y: &[bool], seed: u64) -> ReductionOutcome {
+pub fn run_reduction(
+    k: usize,
+    d: usize,
+    p: usize,
+    x: &[bool],
+    y: &[bool],
+    seed: u64,
+) -> ReductionOutcome {
     assert_eq!(x.len(), k * k);
     assert_eq!(y.len(), k * k);
     let m: Vec<Vec<bool>> = (0..k)

@@ -176,7 +176,11 @@ pub fn build(k: usize, d: usize, p: usize, m: &[Vec<bool>], x: &[bool]) -> HardG
         b.add_arc(r[p2][2 * (i + 1)], star[i + 1]);
     }
     // α connects to everything on Alice's side (diameter control).
-    for &v in star.iter().chain(q.iter().flatten()).chain(r.iter().flatten()) {
+    for &v in star
+        .iter()
+        .chain(q.iter().flatten())
+        .chain(r.iter().flatten())
+    {
         b.add_arc(alpha, v);
     }
 
@@ -240,7 +244,11 @@ impl HardGraph {
             let _ = j;
             for (i, &u) in level.iter().enumerate() {
                 let midpoint = i * span + span / 2;
-                side[u] = if midpoint < mid { Side::Alice } else { Side::Bob };
+                side[u] = if midpoint < mid {
+                    Side::Alice
+                } else {
+                    Side::Bob
+                };
             }
         }
         side
@@ -276,11 +284,13 @@ mod tests {
             let g = build(k, d, p, &m, &x);
             let dp = d.pow(p as u32);
             let tree_size = (d.pow(p as u32 + 1) - 1) / (d - 1);
-            let expected =
-                2 * k * dp + 2 * k * (2 * k * k + 1) + (k * k + 1) + tree_size;
+            let expected = 2 * k * dp + 2 * k * (2 * k * k + 1) + (k * k + 1) + tree_size;
             assert_eq!(g.graph.node_count(), expected, "k={k}, d={d}, p={p}");
             let diam = undirected_diameter(&g.graph).expect("connected");
-            assert!(diam <= 2 * p + 2, "diameter {diam} > 2p+2 (k={k},d={d},p={p})");
+            assert!(
+                diam <= 2 * p + 2,
+                "diameter {diam} > 2p+2 (k={k},d={d},p={p})"
+            );
         }
     }
 

@@ -78,13 +78,7 @@ pub fn verify(g: &HardGraph, m: &[Vec<bool>], x: &[bool]) -> Lemma68Report {
 }
 
 /// Convenience: build + verify for given parameters and inputs.
-pub fn verify_instance(
-    k: usize,
-    d: usize,
-    p: usize,
-    m: &[Vec<bool>],
-    x: &[bool],
-) -> Lemma68Report {
+pub fn verify_instance(k: usize, d: usize, p: usize, m: &[Vec<bool>], x: &[bool]) -> Lemma68Report {
     let g = build(k, d, p, m, x);
     verify(&g, m, x)
 }

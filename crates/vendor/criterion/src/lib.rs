@@ -1,0 +1,163 @@
+//! Offline drop-in subset of the Criterion benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion 0.5` it uses: `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_with_input`/`bench_function`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! mean of wall-clock samples — enough to track relative performance
+//! trends in `BENCH_*.json` files, without Criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+///
+/// Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock duration of one iteration, filled by `iter`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (one warm-up, then the sample count configured
+    /// on the group) and records the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.label, bencher.mean);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.into(), bencher.mean);
+        self
+    }
+
+    /// Ends the group (report-flush point in real Criterion; a no-op
+    /// here, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, mean: Duration) {
+    println!("{group}/{label}: mean {mean:?} per iteration");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report("bench", &id.into(), bencher.mean);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,269 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the workspace's usage: the `proptest!` macro with a
+//! `proptest_config(ProptestConfig::with_cases(N))` header, range
+//! strategies (`lo..hi`), `any::<bool>()`, `proptest::collection::vec`,
+//! and the `prop_assert!`/`prop_assert_eq!` macros. Cases are generated
+//! deterministically from the test name, so failures are reproducible;
+//! there is no shrinking — the failing inputs are printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property with its rendered message.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-test, per-case generator.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of type `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for "any value of `T`" (see [`super::any`]).
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// `any::<T>()` strategy constructor.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+
+    /// Strategy producing `Vec`s of a fixed or ranged length.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Lengths accepted by [`vec`]: a fixed `usize` or a `Range`.
+    pub trait IntoSizeRange {
+        /// Lower and upper (inclusive) length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rand::Rng::gen_range(rng, self.min..=self.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each listed function becomes one `#[test]` that samples its arguments
+/// `cases` times from the given strategies and runs the body; `return
+/// Ok(())` exits one case early, and `prop_assert!`-style failures
+/// report the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "property {} failed at case {}/{} with inputs: {}\n{}",
+                            stringify!($name), __case, config.cases, __inputs, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

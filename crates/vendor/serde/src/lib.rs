@@ -1,0 +1,263 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature serde: [`Serialize`] and [`Deserialize`] are
+//! defined against an in-memory JSON-like data model ([`value::Value`])
+//! instead of serde's visitor protocol. The `#[derive(Serialize,
+//! Deserialize)]` macros (from the companion `serde_derive` crate) cover
+//! plain structs with named fields and newtype structs, which is all the
+//! workspace derives. `serde_json` renders and parses the data model.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model.
+pub mod value {
+    use super::Error;
+
+    /// A JSON-shaped value tree.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        UInt(u64),
+        /// Negative integer.
+        Int(i64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Value>),
+        /// Object, in insertion order.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is a map.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is a sequence.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up `key` in an object's entries (derive-generated code).
+    pub fn get<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+        map.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+}
+
+use value::Value;
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let raw = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::UInt(x as u64) } else { Value::Int(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let raw: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).map_err(Error::custom)?,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<(A, B), Error> {
+        let s = v.as_seq().ok_or_else(|| Error::custom("expected pair"))?;
+        if s.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}

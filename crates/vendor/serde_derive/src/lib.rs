@@ -1,0 +1,230 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Two
+//! struct shapes are supported — named fields and newtype/tuple — which
+//! covers every derive in the workspace. Enums and generic structs are
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct Name(T, U);` — field count.
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (#[...]) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("mini-serde derive does not support enums".into())
+        }
+        _ => return Err("expected `struct`".into()),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("mini-serde derive does not support generic structs".into())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+            name,
+            shape: Shape::Named(named_fields(g.stream())),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+            name,
+            shape: Shape::Tuple(tuple_arity(g.stream())),
+        }),
+        _ => Err("expected struct body".into()),
+    }
+}
+
+/// Field names of a named-field struct body, in order.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut pending_ident: Option<String> = None;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                '#' => {
+                    // Skip the attribute group that follows.
+                    iter.next();
+                }
+                ':' if angle_depth == 0 => {
+                    if let Some(name) = pending_ident.take() {
+                        fields.push(name);
+                    }
+                    at_field_start = false;
+                }
+                ',' if angle_depth == 0 => {
+                    at_field_start = true;
+                    pending_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if at_field_start && s != "pub" {
+                    pending_ident = Some(s);
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                // pub(crate) — ignore.
+                let _ = g;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => trailing_comma = false,
+            },
+            _ => {
+                any = true;
+                trailing_comma = false;
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (mini-serde data-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (mini-serde data-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value::get(__map, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected object\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\n\
+                 if __seq.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -10,14 +10,13 @@
 //!
 //! Run with: `cargo run --release -p rpaths-bench --example congest_primer`
 
-use congest::{Network, NodeCtx, Protocol};
+use congest::{Network, NodeCtx, Protocol, Scheduling};
 use graphkit::gen::random_digraph;
 
 /// Every node floods the largest node id it has heard; after `D` rounds
 /// everyone agrees on the maximum id — the leader.
 struct LeaderElection {
     best: Vec<u64>,
-    changed: Vec<bool>,
 }
 
 impl Protocol for LeaderElection {
@@ -44,7 +43,13 @@ impl Protocol for LeaderElection {
                 ctx.send(p, self.best[v]);
             }
         }
-        self.changed[v] = improved;
+    }
+
+    // Opinions only change on receipt, so the engine can skip settled
+    // nodes: with the active-set schedule, simulation cost tracks the
+    // number of opinion changes instead of n · rounds.
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
     }
 }
 
@@ -56,7 +61,6 @@ fn main() {
 
     let mut proto = LeaderElection {
         best: (0..n as u64).collect(), // node v's id is v
-        changed: vec![false; n],
     };
     let stats = net
         .run_until_quiet("leader-election", &mut proto, 10 * n as u64)

@@ -33,7 +33,10 @@ fn main() {
     params.landmark_prob = 0.6;
     let out = unweighted::solve(&inst, &params);
 
-    println!("\nfailover cost per primary link (primary route costs {}):", inst.hops());
+    println!(
+        "\nfailover cost per primary link (primary route costs {}):",
+        inst.hops()
+    );
     let mut worst = (0, Dist::ZERO);
     for (i, &len) in out.replacement.iter().enumerate() {
         if let Some(v) = len.finite() {

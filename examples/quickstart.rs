@@ -40,10 +40,7 @@ fn main() {
             len
         );
     }
-    println!(
-        "\nsecond simple shortest path (2-SiSP): {}",
-        out.sisp()
-    );
+    println!("\nsecond simple shortest path (2-SiSP): {}", out.sisp());
     println!(
         "CONGEST cost: {} rounds, {} messages",
         out.metrics.rounds(),

@@ -1,0 +1,18 @@
+//! Workspace façade: re-exports the layered crates of the replacement-
+//! paths reproduction so downstream users (and the root `tests/` and
+//! `examples/`) can reach everything through one dependency.
+//!
+//! Layering, bottom to top:
+//!
+//! - [`graphkit`]: graphs, generators, centralized oracles.
+//! - [`congest`]: the CONGEST round engine and communication primitives.
+//! - [`rpaths_core`]: the paper's algorithms (Theorems 1 and 3, plus
+//!   baselines).
+//! - [`rpaths_lb`]: the Section 6 lower-bound constructions.
+
+#![forbid(unsafe_code)]
+
+pub use congest;
+pub use graphkit;
+pub use rpaths_core;
+pub use rpaths_lb;

@@ -101,7 +101,9 @@ fn long_cycle_detour_far_from_path() {
     let g = b.build();
     let inst = Instance::from_endpoints(&g, 0, h).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
-    assert!(oracle.iter().all(|d| d.finite() == Some(loop_len as u64 + 1)));
+    assert!(oracle
+        .iter()
+        .all(|d| d.finite() == Some(loop_len as u64 + 1)));
     // ζ far below the detour length: pure long-detour territory.
     assert_exact(&g, &inst, 3);
 }

@@ -1,0 +1,200 @@
+//! Differential property tests for the active-set round engine.
+//!
+//! The engine's activation contract (`Protocol::scheduling`) and flat
+//! mailbox arenas are wall-clock optimizations only: for every protocol
+//! in the workspace, an active-set run must produce *bit-identical*
+//! [`congest::RunStats`] (rounds, messages, bits, cut bits, max message
+//! size) and identical outputs to the full-sweep reference schedule
+//! (`Network::set_full_sweep`). These tests drive all five communication
+//! primitives, the Lemma 4.2 hop-BFS, and the end-to-end Theorem 1
+//! solver across random topologies under both schedules and compare.
+
+use congest::aggregate::{aggregate, AggOp};
+use congest::bfs_tree::build_bfs_tree;
+use congest::broadcast::broadcast;
+use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
+use congest::pipeline::{diagonal_dp, prefix_sweep, Lane};
+use congest::{Network, RunStats, Side};
+use graphkit::gen::{planted_path_digraph, random_digraph};
+use graphkit::{Dist, GraphBuilder};
+use proptest::prelude::*;
+
+/// Runs `f` under both schedules on fresh networks and returns both
+/// results.
+fn both<T>(g: &graphkit::DiGraph, mut f: impl FnMut(&mut Network<'_>) -> T) -> (T, T) {
+    let mut active = Network::new(g);
+    let active_out = f(&mut active);
+    let mut swept = Network::new(g);
+    swept.set_full_sweep(true);
+    let swept_out = f(&mut swept);
+    (active_out, swept_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_tree_is_schedule_invariant(n in 2usize..70, seed in 0u64..500) {
+        let g = random_digraph(n, 2 * n, seed);
+        let root = seed as usize % n;
+        let ((ta, sa), (ts, ss)) = both(&g, |net| build_bfs_tree(net, root));
+        prop_assert_eq!(sa, ss);
+        prop_assert_eq!(ta.parent, ts.parent);
+        prop_assert_eq!(ta.depth, ts.depth);
+        prop_assert_eq!(ta.child_ports, ts.child_ports);
+    }
+
+    #[test]
+    fn broadcast_is_schedule_invariant(
+        n in 3usize..50,
+        per_node in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 2 * n, seed);
+        let items: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..per_node).map(|j| (v * 16 + j) as u64).collect())
+            .collect();
+        let ((oa, sa), (os, ss)) = both(&g, |net| {
+            let (tree, _) = build_bfs_tree(net, 0);
+            broadcast(net, &tree, items.clone(), |_| 16, "bc")
+        });
+        prop_assert_eq!(sa, ss);
+        prop_assert_eq!(oa, os);
+    }
+
+    #[test]
+    fn aggregate_is_schedule_invariant(n in 2usize..60, seed in 0u64..500) {
+        let g = random_digraph(n, 2 * n, seed);
+        let values: Vec<Dist> = (0..n)
+            .map(|v| Dist::new((v as u64 * 101 + seed) % 997))
+            .collect();
+        for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+            let (ra, rs) = both(&g, |net| {
+                let (tree, _) = build_bfs_tree(net, 0);
+                let before = net.metrics().total;
+                let result = aggregate(net, &tree, op, &values);
+                (result, diff(&net.metrics().total, &before))
+            });
+            prop_assert_eq!(ra, rs);
+        }
+    }
+
+    #[test]
+    fn multi_bfs_is_schedule_invariant(
+        n in 3usize..50,
+        k in 1usize..6,
+        h in 1u64..30,
+        seed in 0u64..500,
+    ) {
+        let g = random_digraph(n, 3 * n, seed);
+        let sources: Vec<usize> = (0..k).map(|i| (i * 13 + 1) % n).collect();
+        // Mix in delayed edges on half the cases to cover held-message
+        // reactivation.
+        let delays: Option<Vec<u64>> = (seed % 2 == 0).then(|| {
+            (0..g.edge_count()).map(|e| 1 + (e as u64 + seed) % 3).collect()
+        });
+        let cfg = MultiBfsConfig {
+            sources: &sources,
+            max_dist: h,
+            reverse: seed % 3 == 0,
+            delays: delays.as_deref(),
+        };
+        let budget = 8 * default_budget(k, h);
+        let ((da, sa), (ds, ss)) = both(&g, |net| {
+            multi_source_bfs(net, &cfg, |_| true, "mbfs", budget).expect("quiesces")
+        });
+        prop_assert_eq!(sa, ss);
+        prop_assert_eq!(da, ds);
+    }
+
+    #[test]
+    fn pipelines_are_schedule_invariant(
+        len in 2usize..20,
+        jobs in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let mut b = GraphBuilder::new(len);
+        let links: Vec<usize> = (0..len - 1).map(|i| b.add_arc(i, i + 1)).collect();
+        let g = b.build();
+        let lane = Lane::forward((0..len).collect(), links);
+        let val = |pos: usize, job: usize| ((pos as u64 * 31 + job as u64 * 7 + seed) % 50) + 1;
+
+        let ((oa, sa), (os, ss)) = both(&g, |net| {
+            prefix_sweep(
+                net,
+                std::slice::from_ref(&lane),
+                jobs,
+                &|_, pos, job| Dist::new(val(pos, job)),
+                "sweep",
+            )
+        });
+        prop_assert_eq!(sa, ss);
+        prop_assert_eq!(oa, os);
+
+        let rounds = jobs as u64;
+        let ((ca, sa), (cs, ss)) = both(&g, |net| {
+            diagonal_dp(
+                net,
+                &lane,
+                |p| Dist::new(val(p, 0)),
+                &|p, r| Dist::new(val(p, r as usize)),
+                rounds,
+                "dp",
+            )
+        });
+        prop_assert_eq!(sa, ss);
+        prop_assert_eq!(ca, cs);
+    }
+
+    #[test]
+    fn theorem1_solver_is_schedule_invariant(
+        h in 4usize..14,
+        extra in 0usize..100,
+        zeta in 2usize..10,
+        seed in 0u64..300,
+    ) {
+        let n = 3 * h + 8;
+        let (g, s, t) = planted_path_digraph(n, h, extra, seed);
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let mut params = rpaths_core::Params::with_zeta(n, zeta).with_seed(seed);
+        params.landmark_prob = 1.0;
+        let ((ra, ma), (rs, ms)) = both(&g, |net| {
+            let replacement = rpaths_core::unweighted::solve_on(net, &inst, &params);
+            (replacement, net.metrics().clone())
+        });
+        prop_assert_eq!(ra, rs);
+        prop_assert_eq!(ma.total, ms.total);
+        prop_assert_eq!(ma.phases.len(), ms.phases.len());
+        for (pa, ps) in ma.phases.iter().zip(&ms.phases) {
+            prop_assert_eq!(&pa.name, &ps.name);
+            prop_assert_eq!(pa.stats, ps.stats, "phase {}", pa.name);
+        }
+    }
+
+    #[test]
+    fn cut_bits_are_schedule_invariant(n in 4usize..40, seed in 0u64..300) {
+        let g = random_digraph(n, 3 * n, seed);
+        let sides: Vec<Side> = (0..n)
+            .map(|v| if v < n / 2 { Side::Alice } else { Side::Bob })
+            .collect();
+        let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
+        let ((_, sa), (_, ss)) = both(&g, |net| {
+            net.set_cut(sides.clone());
+            let (tree, _) = build_bfs_tree(net, 0);
+            broadcast(net, &tree, items.clone(), |_| 16, "bc")
+        });
+        prop_assert_eq!(sa, ss);
+        prop_assert!(sa.cut_bits > 0, "cut accounting exercised");
+    }
+}
+
+/// Component-wise difference of two cumulative stats snapshots.
+fn diff(after: &RunStats, before: &RunStats) -> RunStats {
+    RunStats {
+        rounds: after.rounds - before.rounds,
+        messages: after.messages - before.messages,
+        bits: after.bits - before.bits,
+        cut_bits: after.cut_bits - before.cut_bits,
+        max_message_bits: after.max_message_bits,
+    }
+}

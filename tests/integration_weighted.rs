@@ -3,7 +3,7 @@
 //! centralized oracle.
 
 use graphkit::alg::{replacement_lengths, shortest_st_path};
-use graphkit::gen::{random_weighted_digraph, parallel_lane};
+use graphkit::gen::{parallel_lane, random_weighted_digraph};
 use rpaths_core::{weighted, Instance, Params};
 
 fn usable_instance(

@@ -55,7 +55,7 @@ proptest! {
         let g = random_digraph(n, 3 * n, seed);
         let sources: Vec<usize> = (0..k).map(|i| (i * 13 + 1) % n).collect();
         let cfg = MultiBfsConfig {
-            sources: sources.clone(),
+            sources: &sources,
             max_dist: h,
             reverse: false,
             delays: None,
