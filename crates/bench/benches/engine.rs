@@ -1,22 +1,26 @@
 //! Engine-level wall-clock benchmark: active-set scheduling vs. the
-//! full-sweep reference schedule, on the two extremes of the traffic
-//! spectrum.
+//! full-sweep reference schedule, and sequential vs. sharded-parallel
+//! execution, on the two extremes of the traffic spectrum.
 //!
 //! - **Idle-heavy sparse lane**: single-source BFS along an `n`-node
 //!   line. The frontier is O(1) nodes per round over Θ(n) rounds, so a
 //!   full sweep does Θ(n²) `on_round` calls while the active set does
 //!   Θ(n) — this is the `Õ(n^{2/3} + D)`-protocol regime the paper's
 //!   Table 1 lives in, where almost every node is idle almost always.
-//! - **Dense broadcast**: Lemma 2.4 with `M = n` items on a random
-//!   graph, where most nodes stay busy most rounds and the active set
-//!   can at best match the sweep (it must not be slower by more than
-//!   bookkeeping noise).
+//!   Parallelism must *not* engage here (the work-per-round fallback),
+//!   so the multi-thread numbers must stay within noise of sequential.
+//! - **Dense broadcast / dense multi-BFS**: Lemma 2.4 with `M = n`
+//!   items and Lemma 5.5 with 64 sources on random graphs, where most
+//!   nodes stay busy most rounds. Active-set scheduling can at best
+//!   match the sweep here; the sharded step phase is what buys
+//!   wall-clock, scaling with threads at n ≥ 4096.
 //!
 //! Besides the Criterion timings, the bench writes `BENCH_engine.json`
-//! at the repo root with rounds-per-second for both schedules so the
-//! perf trajectory is tracked across PRs. The schedules are *bit-exact*
-//! in simulated rounds/messages (see `tests/engine_equivalence.rs`);
-//! only wall-clock differs.
+//! at the repo root with rounds-per-second for both schedules and for
+//! thread counts {1, 2, 4, 8} so the perf trajectory is tracked across
+//! PRs. All configurations are *bit-exact* in simulated
+//! rounds/messages (see `tests/engine_equivalence.rs`); only wall-clock
+//! differs.
 
 use std::time::Instant;
 
@@ -48,6 +52,7 @@ fn run_line_bfs(g: &DiGraph, full_sweep: bool) -> u64 {
     };
     let mut net = Network::new(g);
     net.set_full_sweep(full_sweep);
+    net.set_threads(1);
     let (_, stats) = multi_source_bfs(&mut net, &cfg, |_| true, "bfs", default_budget(1, n as u64))
         .expect("quiesces");
     stats.rounds
@@ -58,9 +63,55 @@ fn run_dense_broadcast(g: &DiGraph, full_sweep: bool) -> u64 {
     let n = g.node_count();
     let mut net = Network::new(g);
     net.set_full_sweep(full_sweep);
+    net.set_threads(1);
     let (tree, _) = build_bfs_tree(&mut net, 0);
     let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
     let (_, stats) = broadcast(&mut net, &tree, items, |_| 16, "bc");
+    stats.rounds
+}
+
+/// One M = n broadcast with `threads` workers (active-set schedule).
+fn run_broadcast_threads(g: &DiGraph, threads: usize) -> u64 {
+    let n = g.node_count();
+    let mut net = Network::new(g);
+    net.set_threads(threads);
+    let (tree, _) = build_bfs_tree(&mut net, 0);
+    let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
+    let (_, stats) = broadcast(&mut net, &tree, items, |_| 16, "bc");
+    stats.rounds
+}
+
+/// One 64-source hop-bounded BFS with `threads` workers.
+fn run_multi_bfs_threads(g: &DiGraph, threads: usize) -> u64 {
+    let n = g.node_count();
+    let sources: Vec<usize> = (0..64).map(|i| (i * 61 + 1) % n).collect();
+    let cfg = MultiBfsConfig {
+        sources: &sources,
+        max_dist: 256,
+        reverse: false,
+        delays: None,
+    };
+    let mut net = Network::new(g);
+    net.set_threads(threads);
+    let (_, stats) = multi_source_bfs(&mut net, &cfg, |_| true, "mbfs", default_budget(64, 256))
+        .expect("quiesces");
+    stats.rounds
+}
+
+/// Sparse line BFS with `threads` workers: the auto-fallback must keep
+/// this within noise of the sequential active-set engine.
+fn run_line_bfs_threads(g: &DiGraph, threads: usize) -> u64 {
+    let n = g.node_count();
+    let cfg = MultiBfsConfig {
+        sources: &[0],
+        max_dist: n as u64,
+        reverse: false,
+        delays: None,
+    };
+    let mut net = Network::new(g);
+    net.set_threads(threads);
+    let (_, stats) = multi_source_bfs(&mut net, &cfg, |_| true, "bfs", default_budget(1, n as u64))
+        .expect("quiesces");
     stats.rounds
 }
 
@@ -74,10 +125,29 @@ struct WorkloadReport {
     speedup: f64,
 }
 
+#[derive(Clone, Debug, Serialize)]
+struct ParallelReport {
+    name: String,
+    n: usize,
+    threads: usize,
+    simulated_rounds: u64,
+    rounds_per_sec: f64,
+    /// Speedup versus the sequential (1-thread) engine on the same
+    /// workload; the schedule (active set + dense-round sweeps) is
+    /// identical, only the thread count differs.
+    speedup_vs_sequential: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct EngineReport {
     bench: String,
+    /// CPUs available to the measurement host. Parallel speedups are
+    /// bounded by this: on a 1-CPU host every thread count time-slices
+    /// one core, so `speedup_vs_sequential` can only show the fan-out
+    /// overhead, not the scaling (run on a multi-core host for that).
+    host_cpus: usize,
     workloads: Vec<WorkloadReport>,
+    parallel: Vec<ParallelReport>,
 }
 
 /// Measures `f` (already bound to a schedule) and returns rounds/sec.
@@ -109,6 +179,42 @@ fn measure(name: &str, n: usize, reps: usize, run: impl Fn(bool) -> u64) -> Work
         report.speedup
     );
     report
+}
+
+/// Measures `run` across thread counts {1, 2, 4, 8}, reporting each
+/// configuration's rounds/sec and speedup over the 1-thread baseline.
+fn measure_parallel(
+    name: &str,
+    n: usize,
+    reps: usize,
+    run: impl Fn(usize) -> u64,
+) -> Vec<ParallelReport> {
+    let simulated_rounds = run(1);
+    let base = rounds_per_sec(|| run(1), reps);
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let rps = if threads == 1 {
+                base
+            } else {
+                rounds_per_sec(|| run(threads), reps)
+            };
+            let report = ParallelReport {
+                name: name.to_string(),
+                n,
+                threads,
+                simulated_rounds,
+                rounds_per_sec: rps,
+                speedup_vs_sequential: rps / base,
+            };
+            println!(
+                "{name} (n={n}, threads={threads}): {rps:.0} rounds/s, \
+                 {:.2}x vs sequential",
+                report.speedup_vs_sequential
+            );
+            report
+        })
+        .collect()
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -146,9 +252,65 @@ fn bench_engine(c: &mut Criterion) {
     }
     group.finish();
 
+    // Sharded-parallel speedups (all bit-exact with sequential runs).
+    let mut parallel = Vec::new();
+    let mut group = c.benchmark_group("engine_parallel_dense_broadcast");
+    group.sample_size(2);
+    for &n in &[1024usize, 4096, 8192] {
+        let g = random_digraph(n, 4 * n, 7);
+        if n == 4096 {
+            for &threads in &[1usize, 4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("threads_{threads}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| run_broadcast_threads(&g, threads));
+                    },
+                );
+            }
+        }
+        let reps = if n >= 8192 { 1 } else { 2 };
+        parallel.extend(measure_parallel("dense_broadcast", n, reps, |t| {
+            run_broadcast_threads(&g, t)
+        }));
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_parallel_dense_multi_bfs");
+    group.sample_size(2);
+    for &n in &[1024usize, 4096, 8192] {
+        let g = random_digraph(n, 6 * n, 9);
+        if n == 4096 {
+            for &threads in &[1usize, 4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("threads_{threads}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| run_multi_bfs_threads(&g, threads));
+                    },
+                );
+            }
+        }
+        parallel.extend(measure_parallel("dense_multi_bfs", n, 2, |t| {
+            run_multi_bfs_threads(&g, t)
+        }));
+    }
+    group.finish();
+
+    // Sparse workloads with the auto-fallback: thread count must not
+    // regress the active-set engine.
+    for &n in &[4096usize, 8192] {
+        let g = line(n);
+        parallel.extend(measure_parallel("sparse_line_bfs_fallback", n, 3, |t| {
+            run_line_bfs_threads(&g, t)
+        }));
+    }
+
     let report = EngineReport {
         bench: "engine".to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
         workloads: reports,
+        parallel,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize");

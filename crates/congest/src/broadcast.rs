@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::bfs_tree::BfsTree;
-use crate::network::{Network, NodeCtx, Protocol, Scheduling};
+use crate::network::{Network, NodeCtx, Scheduling, ShardedProtocol};
 use crate::RunStats;
 
 #[derive(Clone, Debug)]
@@ -17,73 +17,98 @@ enum Flow<T> {
     Down(T),
 }
 
-struct BroadcastProtocol<'t, T, F> {
+/// Read-only state every node consults: the tree and the item sizing.
+struct BcastShared<'t, F> {
     tree: &'t BfsTree,
     bits: F,
-    /// Items waiting to move towards the root.
-    up_queue: Vec<VecDeque<T>>,
-    /// The root's serialized stream so far (only meaningful at the root).
-    /// At non-root nodes, items received from the parent, in stream order.
-    delivered: Vec<Vec<T>>,
-    /// Next index of `delivered` to forward to children.
-    down_cursor: Vec<usize>,
     expected_total: usize,
 }
 
-impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
-    type Msg = Flow<T>;
+/// One node's pipeline state (sharded: the engine steps disjoint slices
+/// of these from worker threads).
+struct BcastNode<T> {
+    /// Items waiting to move towards the root.
+    up_queue: VecDeque<T>,
+    /// The root's serialized stream so far (only meaningful at the root).
+    /// At non-root nodes, items received from the parent, in stream order.
+    delivered: Vec<T>,
+    /// Next index of `delivered` to forward to children.
+    down_cursor: usize,
+}
 
-    fn msg_bits(&self, msg: &Flow<T>) -> u64 {
+struct BroadcastProtocol<'t, T, F> {
+    shared: BcastShared<'t, F>,
+    nodes: Vec<BcastNode<T>>,
+}
+
+impl<'t, T, F> ShardedProtocol for BroadcastProtocol<'t, T, F>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    type Msg = Flow<T>;
+    type Node = BcastNode<T>;
+    type Shared = BcastShared<'t, F>;
+
+    fn msg_bits(shared: &Self::Shared, msg: &Flow<T>) -> u64 {
         match msg {
-            Flow::Up(t) | Flow::Down(t) => 1 + (self.bits)(t),
+            Flow::Up(t) | Flow::Down(t) => 1 + (shared.bits)(t),
         }
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Flow<T>>) {
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut BcastNode<T>, ctx: &mut NodeCtx<'_, Flow<T>>) {
         let v = ctx.node;
-        for (_, msg) in ctx.inbox().to_vec() {
+        let tree = shared.tree;
+        for (_, msg) in ctx.inbox() {
             match msg {
                 Flow::Up(item) => {
-                    if v == self.tree.root {
-                        self.delivered[v].push(item);
+                    if v == tree.root {
+                        node.delivered.push(item.clone());
                     } else {
-                        self.up_queue[v].push_back(item);
+                        node.up_queue.push_back(item.clone());
                     }
                 }
-                Flow::Down(item) => self.delivered[v].push(item),
+                Flow::Down(item) => node.delivered.push(item.clone()),
             }
         }
         // Move one queued item towards the root.
-        if let Some(item) = self.up_queue[v].pop_front() {
-            match self.tree.parent_port[v] {
+        if let Some(item) = node.up_queue.pop_front() {
+            match tree.parent_port[v] {
                 Some(pp) => ctx.send(pp, Flow::Up(item)),
                 // The root's "upward" move is appending to its own stream.
-                None => self.delivered[v].push(item),
+                None => node.delivered.push(item),
             }
         }
         // Relay the next stream item to all children.
-        if self.down_cursor[v] < self.delivered[v].len() {
-            let item = self.delivered[v][self.down_cursor[v]].clone();
-            self.down_cursor[v] += 1;
-            for &cp in &self.tree.child_ports[v] {
+        if node.down_cursor < node.delivered.len() {
+            let item = node.delivered[node.down_cursor].clone();
+            node.down_cursor += 1;
+            for &cp in &tree.child_ports[v] {
                 ctx.send(cp, Flow::Down(item.clone()));
             }
         }
         // The pipeline moves one item per round, so a node with queued
         // uploads or an unforwarded stream suffix must act again next
         // round even if nothing new arrives.
-        if !self.up_queue[v].is_empty() || self.down_cursor[v] < self.delivered[v].len() {
+        if !node.up_queue.is_empty() || node.down_cursor < node.delivered.len() {
             ctx.wake();
         }
     }
 
     fn idle(&self) -> bool {
-        self.up_queue.iter().all(|q| q.is_empty())
-            && self
-                .down_cursor
-                .iter()
-                .zip(&self.delivered)
-                .all(|(&c, d)| c == d.len() && d.len() == self.expected_total)
+        self.nodes.iter().all(|nd| {
+            nd.up_queue.is_empty()
+                && nd.down_cursor == nd.delivered.len()
+                && nd.delivered.len() == self.shared.expected_total
+        })
     }
 
     fn scheduling(&self) -> Scheduling {
@@ -101,33 +126,47 @@ impl<T: Clone, F: Fn(&T) -> u64> Protocol for BroadcastProtocol<'_, T, F> {
 /// Round complexity is `O(M + height(tree))` where `M` is the total item
 /// count, matching Lemma 2.4; tests assert the constant.
 ///
+/// Runs on the sharded-parallel engine path: on dense instances the
+/// per-node pipeline steps are split across worker threads, with output
+/// and [`RunStats`] bit-identical to a sequential run.
+///
 /// # Panics
 ///
 /// Panics if the protocol fails to quiesce within `4(M + height) + 16`
 /// rounds, which would indicate an engine or tree bug.
-pub fn broadcast<T: Clone>(
+pub fn broadcast<T: Clone + Send + Sync>(
     net: &mut Network<'_>,
     tree: &BfsTree,
     items: Vec<Vec<T>>,
-    bits: impl Fn(&T) -> u64,
+    bits: impl Fn(&T) -> u64 + Sync,
     phase: &str,
 ) -> (Vec<Vec<T>>, RunStats) {
     let n = net.node_count();
     assert_eq!(items.len(), n);
     let total: usize = items.iter().map(|i| i.len()).sum();
     let mut proto = BroadcastProtocol {
-        tree,
-        bits,
-        up_queue: items.into_iter().map(VecDeque::from).collect(),
-        delivered: vec![Vec::new(); n],
-        down_cursor: vec![0; n],
-        expected_total: total,
+        shared: BcastShared {
+            tree,
+            bits,
+            expected_total: total,
+        },
+        nodes: items
+            .into_iter()
+            .map(|i| BcastNode {
+                up_queue: VecDeque::from(i),
+                delivered: Vec::new(),
+                down_cursor: 0,
+            })
+            .collect(),
     };
     let budget = 4 * (total as u64 + tree.height) + 16;
     let stats = net
-        .run_until_quiet(phase, &mut proto, budget)
+        .run_until_quiet_par(phase, &mut proto, budget)
         .expect("broadcast quiesces within O(M + D)");
-    (proto.delivered, stats)
+    (
+        proto.nodes.into_iter().map(|nd| nd.delivered).collect(),
+        stats,
+    )
 }
 
 #[cfg(test)]

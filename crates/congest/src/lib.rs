@@ -45,14 +45,32 @@
 //!   monotonically increasing round generations instead of being
 //!   cleared, and all non-message buffers live on the [`Network`], reused
 //!   across rounds *and* phases.
+//! - **Deterministic sharded parallelism.** A protocol that factors its
+//!   state into a `Sync` shared part and a per-node slice
+//!   ([`ShardedProtocol`]) can be driven through
+//!   [`Network::run_rounds_par`] / [`Network::run_until_quiet_par`]:
+//!   worker threads (std scoped threads, no unsafe) step disjoint
+//!   contiguous node shards, staging sends into shard-local buffers.
+//!   Buffers are concatenated in ascending shard order before the
+//!   commit phase, so the counting sort consumes the exact send order a
+//!   sequential run would produce — per-destination inbox order is
+//!   therefore bit-identical by construction, not by luck. The commit
+//!   phase's independent passes parallelize the same way (per-shard
+//!   message derivation/accounting with an ordered merge, then arena
+//!   materialization over disjoint slot ranges). Rounds stepping fewer
+//!   nodes than a work threshold run sequentially, so sparse active-set
+//!   workloads never regress; thread count comes from the
+//!   `CONGEST_THREADS` environment variable or [`Network::set_threads`].
 //!
-//! **Invariant:** scheduling is a wall-clock optimization with no effect
-//! on the measured model quantities. Delivered messages, per-destination
-//! delivery order, round counts, and every [`RunStats`] field are
-//! bit-identical between `ActiveSet` and `FullSweep` runs; the
-//! differential suite in `tests/engine_equivalence.rs` asserts this for
-//! every primitive and an end-to-end solver. Table 1 numbers depend only
-//! on the model, never on the schedule.
+//! **Invariant:** scheduling and parallelism are wall-clock
+//! optimizations with no effect on the measured model quantities.
+//! Delivered messages, per-destination delivery order, round counts, and
+//! every [`RunStats`] field are bit-identical between `ActiveSet` and
+//! `FullSweep` runs and across all thread counts and shard geometries;
+//! the differential suite in `tests/engine_equivalence.rs` asserts this
+//! for every primitive and an end-to-end solver, and a property test
+//! randomizes shard boundaries. Table 1 numbers depend only on the
+//! model, never on the schedule or the hardware.
 //!
 //! # Communication primitives
 //! - [`bfs_tree`]: distributed BFS tree over the underlying undirected
@@ -81,4 +99,6 @@ mod network;
 pub mod pipeline;
 
 pub use metrics::{Metrics, PhaseStats, RunStats};
-pub use network::{word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, Side};
+pub use network::{
+    word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, ShardedProtocol, Side,
+};

@@ -21,8 +21,8 @@ use std::collections::BinaryHeap;
 
 use graphkit::{Dist, EdgeId, NodeId};
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
-use crate::RunStats;
+use crate::network::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
+use crate::{Port, RunStats};
 
 /// Configuration for a multi-source hop-bounded BFS.
 ///
@@ -51,97 +51,118 @@ struct Announce {
     dist: u64,
 }
 
-struct MultiBfsProtocol<'c, F> {
+/// Read-only per-run state shared by every node.
+struct MbfsShared<'c, F> {
     cfg: &'c MultiBfsConfig<'c>,
     enabled: F,
-    /// best[node][src]
-    best: Vec<Vec<u64>>,
-    /// Per node, per port: announcements waiting for this link,
-    /// smallest distance first. Entries are (dist_at_sender, src).
-    queues: Vec<Vec<BinaryHeap<Reverse<(u64, u32)>>>>,
+}
+
+/// One node's BFS state (sharded: the engine steps disjoint slices of
+/// these from worker threads).
+struct MbfsNode {
+    /// best[src]
+    best: Vec<u64>,
+    /// Per port: announcements waiting for this link, smallest distance
+    /// first. Entries are (dist_at_sender, src).
+    queues: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
     /// Announcements received over a delayed edge, held until the round
     /// at which the subdivided path would deliver them:
     /// (release_round, src, dist_at_receiver).
-    held: Vec<Vec<(u64, u32, u64)>>,
-    /// Per node: queued announcements across all of its port queues (the
-    /// node's activation signal).
-    node_pending: Vec<u64>,
-    pending_queue_items: u64,
+    held: Vec<(u64, u32, u64)>,
+    /// Queued announcements across all port queues (the node's
+    /// activation signal and quiescence witness).
+    pending: u64,
 }
 
-impl<F: Fn(EdgeId) -> bool> MultiBfsProtocol<'_, F> {
-    fn delay(&self, e: EdgeId, fallback_weight_ignored: u64) -> u64 {
-        let _ = fallback_weight_ignored;
-        match self.cfg.delays {
-            Some(d) => d[e],
-            None => 1,
-        }
-    }
+struct MultiBfsProtocol<'c, F> {
+    shared: MbfsShared<'c, F>,
+    nodes: Vec<MbfsNode>,
+}
 
-    /// Try to improve best[v][src] to `dist`; on success enqueue
-    /// announcements on every sending port of `v`.
-    fn relax(&mut self, v: NodeId, src: u32, dist: u64, ports: &[crate::Port]) {
-        if dist > self.cfg.max_dist || dist >= self.best[v][src as usize] {
-            return;
-        }
-        self.best[v][src as usize] = dist;
-        for (pi, port) in ports.iter().enumerate() {
-            let sends_here = if self.cfg.reverse {
-                !port.outgoing
-            } else {
-                port.outgoing
-            };
-            if !sends_here || !(self.enabled)(port.link) {
-                continue;
-            }
-            let w = self.delay(port.link, port.weight);
-            if w == 0 || dist + w > self.cfg.max_dist {
-                continue;
-            }
-            self.queues[v][pi].push(Reverse((dist, src)));
-            self.node_pending[v] += 1;
-            self.pending_queue_items += 1;
-        }
+fn delay_of(cfg: &MultiBfsConfig<'_>, e: EdgeId) -> u64 {
+    match cfg.delays {
+        Some(d) => d[e],
+        None => 1,
     }
 }
 
-impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
+/// Try to improve `node.best[src]` to `dist`; on success enqueue
+/// announcements on every sending port.
+fn relax<F: Fn(EdgeId) -> bool>(
+    shared: &MbfsShared<'_, F>,
+    node: &mut MbfsNode,
+    src: u32,
+    dist: u64,
+    ports: &[Port],
+) {
+    let cfg = shared.cfg;
+    if dist > cfg.max_dist || dist >= node.best[src as usize] {
+        return;
+    }
+    node.best[src as usize] = dist;
+    for (pi, port) in ports.iter().enumerate() {
+        let sends_here = if cfg.reverse {
+            !port.outgoing
+        } else {
+            port.outgoing
+        };
+        if !sends_here || !(shared.enabled)(port.link) {
+            continue;
+        }
+        let w = delay_of(cfg, port.link);
+        if w == 0 || dist + w > cfg.max_dist {
+            continue;
+        }
+        node.queues[pi].push(Reverse((dist, src)));
+        node.pending += 1;
+    }
+}
+
+impl<'c, F: Fn(EdgeId) -> bool + Sync> ShardedProtocol for MultiBfsProtocol<'c, F> {
     type Msg = Announce;
+    type Node = MbfsNode;
+    type Shared = MbfsShared<'c, F>;
 
-    fn msg_bits(&self, msg: &Announce) -> u64 {
+    fn msg_bits(_: &Self::Shared, msg: &Announce) -> u64 {
         word_bits(msg.src as u64) + word_bits(msg.dist)
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Announce>) {
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut MbfsNode, ctx: &mut NodeCtx<'_, Announce>) {
         let v = ctx.node;
+        let ports = ctx.ports();
         // Initial relaxations.
         if ctx.round == 0 {
-            let ports: Vec<crate::Port> = ctx.ports().to_vec();
-            for (i, &s) in self.cfg.sources.iter().enumerate() {
+            for (i, &s) in shared.cfg.sources.iter().enumerate() {
                 if s == v {
-                    self.relax(v, i as u32, 0, &ports);
+                    relax(shared, node, i as u32, 0, ports);
                 }
             }
         }
         // Receive: apply unit-delay announcements now, hold delayed ones.
-        let incoming: Vec<(u32, Announce)> = ctx.inbox().to_vec();
-        let ports: Vec<crate::Port> = ctx.ports().to_vec();
-        for (port_idx, ann) in incoming {
+        for &(port_idx, ann) in ctx.inbox() {
             let port = ports[port_idx as usize];
-            let w = self.delay(port.link, port.weight);
+            let w = delay_of(shared.cfg, port.link);
             debug_assert!(w >= 1, "received over a disabled edge");
             let arrived = ann.dist + w;
             if w == 1 {
-                self.relax(v, ann.src, arrived, &ports);
+                relax(shared, node, ann.src, arrived, ports);
             } else {
                 // Engine already charged 1 round; the rest of the
                 // subdivided path costs w - 1 more.
-                self.held[v].push((ctx.round + (w - 1), ann.src, arrived));
+                node.held.push((ctx.round + (w - 1), ann.src, arrived));
             }
         }
         // Release matured held announcements.
         let mut matured = Vec::new();
-        self.held[v].retain(|&(release, src, dist)| {
+        node.held.retain(|&(release, src, dist)| {
             if release <= ctx.round {
                 matured.push((src, dist));
                 false
@@ -150,15 +171,14 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
             }
         });
         for (src, dist) in matured {
-            self.relax(v, src, dist, &ports);
+            relax(shared, node, src, dist, ports);
         }
         // Send: one announcement per port, smallest distance first,
         // skipping entries superseded by a later improvement.
         for pi in 0..ports.len() {
-            while let Some(Reverse((dist, src))) = self.queues[v][pi].pop() {
-                self.node_pending[v] -= 1;
-                self.pending_queue_items -= 1;
-                if dist > self.best[v][src as usize] {
+            while let Some(Reverse((dist, src))) = node.queues[pi].pop() {
+                node.pending -= 1;
+                if dist > node.best[src as usize] {
                     continue; // superseded
                 }
                 ctx.send(pi as u32, Announce { src, dist });
@@ -167,13 +187,15 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
         }
         // Queued announcements and held (delayed) arrivals are
         // self-driven work: re-arm until both drain.
-        if self.node_pending[v] > 0 || !self.held[v].is_empty() {
+        if node.pending > 0 || !node.held.is_empty() {
             ctx.wake();
         }
     }
 
     fn idle(&self) -> bool {
-        self.pending_queue_items == 0 && self.held.iter().all(|h| h.is_empty())
+        self.nodes
+            .iter()
+            .all(|nd| nd.pending == 0 && nd.held.is_empty())
     }
 
     fn scheduling(&self) -> Scheduling {
@@ -187,6 +209,10 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
 /// comfortably above the theoretical `O(k + h)`; the returned stats tell
 /// you what was actually used.
 ///
+/// Runs on the sharded-parallel engine path: on traffic-dense rounds
+/// the per-node relaxations are split across worker threads, with
+/// distances and [`RunStats`] bit-identical to a sequential run.
+///
 /// # Errors
 ///
 /// Returns the engine error when the protocol fails to quiesce within
@@ -194,7 +220,7 @@ impl<F: Fn(EdgeId) -> bool> Protocol for MultiBfsProtocol<'_, F> {
 pub fn multi_source_bfs(
     net: &mut Network<'_>,
     cfg: &MultiBfsConfig<'_>,
-    enabled: impl Fn(EdgeId) -> bool,
+    enabled: impl Fn(EdgeId) -> bool + Sync,
     phase: &str,
     max_rounds: u64,
 ) -> Result<(Vec<Vec<Dist>>, RunStats), crate::EngineError> {
@@ -204,26 +230,24 @@ pub fn multi_source_bfs(
     // each held list at most one delayed arrival per source, so `k` is
     // the natural pre-reservation for both.
     let mut proto = MultiBfsProtocol {
-        cfg,
-        enabled,
-        best: vec![vec![u64::MAX; k]; n],
-        queues: (0..n)
-            .map(|v| {
-                (0..net.ports(v).len())
+        shared: MbfsShared { cfg, enabled },
+        nodes: (0..n)
+            .map(|v| MbfsNode {
+                best: vec![u64::MAX; k],
+                queues: (0..net.ports(v).len())
                     .map(|_| BinaryHeap::with_capacity(k))
-                    .collect()
+                    .collect(),
+                held: Vec::with_capacity(k),
+                pending: 0,
             })
             .collect(),
-        held: (0..n).map(|_| Vec::with_capacity(k)).collect(),
-        node_pending: vec![0; n],
-        pending_queue_items: 0,
     };
-    let stats = net.run_until_quiet(phase, &mut proto, max_rounds)?;
+    let stats = net.run_until_quiet_par(phase, &mut proto, max_rounds)?;
     let mut out = vec![vec![Dist::INF; n]; k];
-    for v in 0..n {
+    for (v, node) in proto.nodes.iter().enumerate() {
         for s in 0..k {
-            if proto.best[v][s] != u64::MAX {
-                out[s][v] = Dist::new(proto.best[v][s]);
+            if node.best[s] != u64::MAX {
+                out[s][v] = Dist::new(node.best[s]);
             }
         }
     }

@@ -1,7 +1,8 @@
 //! The synchronous round engine.
 //!
-//! Two engine-level optimizations keep simulation wall-clock proportional
-//! to *traffic* rather than `Θ(n · rounds)`:
+//! Three engine-level optimizations keep simulation wall-clock
+//! proportional to *traffic* rather than `Θ(n · rounds)`, and then split
+//! that traffic across cores:
 //!
 //! - **Active-set scheduling**: protocols that opt in via
 //!   [`Protocol::scheduling`] are stepped only at nodes that can act —
@@ -13,10 +14,22 @@
 //!   destination into a CSR-bucketed arena each round. Occupancy and
 //!   validity checks use monotonically increasing round generations, so
 //!   nothing is cleared between rounds or phases.
+//! - **Deterministic sharded parallelism**: protocols that store their
+//!   per-node state in a slice ([`ShardedProtocol`]) are stepped by
+//!   worker threads over disjoint contiguous node shards
+//!   ([`Network::run_rounds_par`] / [`Network::run_until_quiet_par`]).
+//!   Each worker stages its sends into a shard-local buffer; buffers are
+//!   concatenated in ascending shard order before the commit phase, so
+//!   the global send order — and therefore the counting-sorted
+//!   per-destination inbox order — is bit-identical to a sequential run.
+//!   Rounds whose step count falls below a work threshold run
+//!   sequentially, so sparse active-set workloads never pay the
+//!   fan-out/join cost.
 //!
-//! Both are pure wall-clock optimizations: the delivered messages, their
-//! per-destination order, and all [`RunStats`] accounting are bit-exact
-//! with a full sweep (asserted by `tests/engine_equivalence.rs`).
+//! All three are pure wall-clock optimizations: the delivered messages,
+//! their per-destination order, and all [`RunStats`] accounting are
+//! bit-exact with a sequential full sweep (asserted by
+//! `tests/engine_equivalence.rs` across schedules and thread counts).
 
 use std::fmt;
 
@@ -121,14 +134,21 @@ pub struct NodeCtx<'a, M> {
 
 impl<'a, M> NodeCtx<'a, M> {
     /// The node's incident links.
+    ///
+    /// The returned slice borrows the network, not the context, so it
+    /// can be held across [`NodeCtx::send`] calls.
     #[inline]
-    pub fn ports(&self) -> &[Port] {
+    pub fn ports(&self) -> &'a [Port] {
         self.ports
     }
 
     /// Messages delivered this round as `(port index, message)` pairs.
+    ///
+    /// The returned slice borrows the delivery arena, not the context,
+    /// so inbox processing can be interleaved with [`NodeCtx::send`]
+    /// without cloning the inbox first.
     #[inline]
-    pub fn inbox(&self) -> &[(u32, M)] {
+    pub fn inbox(&self) -> &'a [(u32, M)] {
         self.inbox
     }
 
@@ -193,6 +213,96 @@ pub trait Protocol {
     /// cost on sparse workloads.
     fn scheduling(&self) -> Scheduling {
         Scheduling::FullSweep
+    }
+}
+
+/// A protocol whose per-node state is a slice the engine can split into
+/// disjoint contiguous shards and step from worker threads.
+///
+/// This is the data-parallel refinement of [`Protocol`]: instead of one
+/// `&mut self` entry point per node, the protocol factors its state into
+///
+/// - [`ShardedProtocol::Shared`] — configuration and topology read by
+///   every node (`Sync`, immutable during a round), and
+/// - [`ShardedProtocol::Node`] — one state value per node, stored
+///   contiguously in node-id order and exposed via
+///   [`ShardedProtocol::split`].
+///
+/// [`ShardedProtocol::step_node`] may touch *only* the given node's
+/// state; the type system enforces it (each worker holds `&mut` to its
+/// shard alone), which is exactly the locality discipline the CONGEST
+/// model asks for anyway.
+///
+/// Every `ShardedProtocol` is automatically a [`Protocol`] (a blanket
+/// impl steps single nodes through the same `step_node`), so sharded
+/// protocols run unchanged on the sequential engine, under
+/// [`Network::set_full_sweep`], and in differential tests.
+///
+/// # Determinism contract
+///
+/// The engine guarantees that a parallel run is bit-identical to a
+/// sequential one for *any* implementation: workers step ascending node
+/// ranges, stage sends into shard-local buffers, and the buffers are
+/// concatenated in ascending shard order before delivery, so the
+/// counting sort sees the exact sequential send order. The only
+/// obligation on the implementation is the usual one — `step_node` must
+/// depend only on `Shared`, its own `Node`, and the [`NodeCtx`] (no
+/// interior-mutable side channels in `Shared`).
+pub trait ShardedProtocol {
+    /// The message type (see [`Protocol::Msg`]); `Send + Sync` so
+    /// workers can read delivery arenas and stage sends across threads.
+    type Msg: Clone + Send + Sync;
+
+    /// Per-node state, stored contiguously in node-id order.
+    type Node: Send;
+
+    /// State shared read-only by all nodes within a round.
+    type Shared: Sync;
+
+    /// Declared size of a message in bits (see [`Protocol::msg_bits`]).
+    fn msg_bits(shared: &Self::Shared, msg: &Self::Msg) -> u64;
+
+    /// The shared read-only state.
+    fn shared(&self) -> &Self::Shared;
+
+    /// Splits the protocol into its shared state and the per-node state
+    /// slice (`len == n`, indexed by `NodeId`).
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]);
+
+    /// Executes one round at `ctx.node`, touching only `node` (that
+    /// node's state slot) and `shared`.
+    fn step_node(shared: &Self::Shared, node: &mut Self::Node, ctx: &mut NodeCtx<'_, Self::Msg>);
+
+    /// See [`Protocol::idle`].
+    fn idle(&self) -> bool {
+        true
+    }
+
+    /// See [`Protocol::scheduling`].
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::FullSweep
+    }
+}
+
+impl<P: ShardedProtocol> Protocol for P {
+    type Msg = P::Msg;
+
+    fn msg_bits(&self, msg: &P::Msg) -> u64 {
+        P::msg_bits(self.shared(), msg)
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, P::Msg>) {
+        let v = ctx.node;
+        let (shared, nodes) = self.split();
+        P::step_node(shared, &mut nodes[v], ctx);
+    }
+
+    fn idle(&self) -> bool {
+        <P as ShardedProtocol>::idle(self)
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        <P as ShardedProtocol>::scheduling(self)
     }
 }
 
@@ -280,6 +390,14 @@ pub struct Network<'g> {
     metrics: Metrics,
     scratch: EngineScratch,
     force_full_sweep: bool,
+    pool: shardpool::Pool,
+    /// Minimum nodes stepped in a round before the step phase fans out.
+    par_node_threshold: usize,
+    /// Minimum staged messages before the arena fill fans out.
+    par_msg_threshold: usize,
+    /// Explicit interior shard split points (testing/tuning); `None`
+    /// means even chunks of the node range.
+    shard_bounds: Option<Vec<usize>>,
 }
 
 impl<'g> Network<'g> {
@@ -326,6 +444,10 @@ impl<'g> Network<'g> {
             metrics: Metrics::default(),
             scratch: EngineScratch::new(n, graph.edge_count()),
             force_full_sweep: false,
+            pool: shardpool::Pool::from_env("CONGEST_THREADS"),
+            par_node_threshold: DEFAULT_PAR_NODE_THRESHOLD,
+            par_msg_threshold: DEFAULT_PAR_MSG_THRESHOLD,
+            shard_bounds: None,
         }
     }
 
@@ -345,6 +467,46 @@ impl<'g> Network<'g> {
     /// contract.
     pub fn set_full_sweep(&mut self, on: bool) {
         self.force_full_sweep = on;
+    }
+
+    /// Sets the number of worker threads for the sharded-parallel
+    /// entry points ([`Network::run_rounds_par`] and
+    /// [`Network::run_until_quiet_par`]). `1` forces sequential
+    /// execution; the default comes from the `CONGEST_THREADS`
+    /// environment variable (unset/`0` = auto-detect).
+    ///
+    /// Thread count never affects results — only wall-clock.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool.set_threads(threads);
+    }
+
+    /// The configured worker-thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Sets the parallel work thresholds: rounds stepping fewer than
+    /// `nodes` nodes run sequentially, as do arena fills with fewer
+    /// than `4 * nodes` staged messages. `0` disables the fallback
+    /// (every eligible round fans out — used by the differential tests
+    /// to exercise parallelism on small graphs).
+    pub fn set_parallel_threshold(&mut self, nodes: usize) {
+        self.par_node_threshold = nodes;
+        self.par_msg_threshold = 4 * nodes;
+    }
+
+    /// Overrides the shard boundaries with explicit interior split
+    /// points (strictly ascending, each in `1..n`); `None` restores
+    /// even chunking. Shard geometry never affects results — the
+    /// differential property tests randomize it to prove that.
+    ///
+    /// # Panics
+    ///
+    /// The next parallel drive panics if the split points are not
+    /// strictly ascending within `1..n`.
+    pub fn set_shard_bounds(&mut self, splits: Option<Vec<usize>>) {
+        self.shard_bounds = splits;
     }
 
     /// Labels nodes with cut sides for Alice/Bob bit accounting.
@@ -440,6 +602,47 @@ impl<'g> Network<'g> {
         Ok(stats)
     }
 
+    /// [`Network::run_rounds`] on the sharded-parallel execution path:
+    /// rounds with enough work are stepped by worker threads over
+    /// disjoint node shards, with results bit-identical to the
+    /// sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on CONGEST constraint violations, as in
+    /// [`Network::run_rounds`].
+    pub fn run_rounds_par<P: ShardedProtocol>(
+        &mut self,
+        name: &str,
+        proto: &mut P,
+        rounds: u64,
+    ) -> RunStats {
+        let (stats, _) = self.drive_par(proto, Budget::Exact(rounds));
+        self.metrics.record(name, stats);
+        stats
+    }
+
+    /// [`Network::run_until_quiet`] on the sharded-parallel execution
+    /// path (see [`Network::run_rounds_par`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RoundLimitExceeded`] when the protocol
+    /// fails to quiesce within `max_rounds`.
+    pub fn run_until_quiet_par<P: ShardedProtocol>(
+        &mut self,
+        name: &str,
+        proto: &mut P,
+        max_rounds: u64,
+    ) -> Result<RunStats, EngineError> {
+        let (stats, quiesced) = self.drive_par(proto, Budget::UntilQuiet(max_rounds));
+        if !quiesced {
+            return Err(EngineError::RoundLimitExceeded { max_rounds });
+        }
+        self.metrics.record(name, stats);
+        Ok(stats)
+    }
+
     fn drive<P: Protocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
         let n = self.graph.node_count();
         let full_sweep = self.force_full_sweep || proto.scheduling() == Scheduling::FullSweep;
@@ -499,91 +702,22 @@ impl<'g> Network<'g> {
                     sc.next_active.push(v as u32);
                 }
             }
-            // Commit phase: enforce CONGEST, account bits, and count
-            // messages per destination (first pass of the counting sort).
-            let sent = staging.len() as u64;
-            sc.touched.clear();
-            sc.dests.clear();
-            sc.recv_ports.clear();
-            for &(sender, port_idx, ref msg) in staging.iter() {
-                let port = ports[sender][port_idx as usize];
-                let dir = 2 * port.link + usize::from(!port.outgoing);
-                assert_ne!(
-                    sc.occupied[dir],
-                    g,
-                    "CONGEST violation: two messages on link {} direction {} in round {} \
-                     (sender {})",
-                    port.link,
-                    usize::from(!port.outgoing),
-                    round,
-                    sender
-                );
-                sc.occupied[dir] = g;
-                let bits = proto.msg_bits(msg.as_ref().expect("staged message present"));
-                assert!(
-                    bits <= bandwidth,
-                    "CONGEST violation: {bits}-bit message exceeds bandwidth {bandwidth} \
-                     (sender {sender})",
-                );
-                stats.messages += 1;
-                stats.bits += bits;
-                stats.max_message_bits = stats.max_message_bits.max(bits);
-                if let Some(cut) = cut {
-                    let a = cut[sender];
-                    let b = cut[port.peer];
-                    if a != b && a != Side::Neutral && b != Side::Neutral {
-                        stats.cut_bits += bits;
-                    }
-                }
-                let dest = port.peer;
-                sc.dests.push(dest as u32);
-                sc.recv_ports.push(if port.outgoing {
-                    edge_ports[port.link].1
-                } else {
-                    edge_ports[port.link].0
-                });
-                if sc.count_stamp[dest] != g {
-                    sc.count_stamp[dest] = g;
-                    sc.counts[dest] = 0;
-                    sc.touched.push(dest as u32);
-                }
-                sc.counts[dest] += 1;
-                // Receiving a message activates the destination.
-                if !full_sweep && sc.active_stamp[dest] != g + 1 {
-                    sc.active_stamp[dest] = g + 1;
-                    sc.next_active.push(dest as u32);
-                }
-            }
-            // CSR offsets for the next round's inboxes; `counts` becomes
-            // the placement cursor.
-            let mut offset: u32 = 0;
-            for &d in &sc.touched {
-                let d = d as usize;
-                sc.inbox_start[d] = offset;
-                sc.inbox_len[d] = sc.counts[d];
-                sc.inbox_stamp[d] = g + 1;
-                offset += sc.counts[d];
-                sc.counts[d] = 0;
-            }
-            // Stable counting sort: arena slot -> staging index, then one
-            // linear pass materializes the grouped inboxes.
-            sc.order.clear();
-            sc.order.resize(staging.len(), 0);
-            for (i, &d) in sc.dests.iter().enumerate() {
-                let d = d as usize;
-                let slot = (sc.inbox_start[d] + sc.counts[d]) as usize;
-                sc.counts[d] += 1;
-                sc.order[slot] = i as u32;
-            }
-            arena.clear();
-            arena.extend(sc.order.iter().map(|&i| {
-                let msg = staging[i as usize]
-                    .2
-                    .take()
-                    .expect("each staged message is delivered exactly once");
-                (sc.recv_ports[i as usize], msg)
-            }));
-            staging.clear();
+            // Commit phase: enforce CONGEST, account bits, and deliver
+            // via the counting-sorted arena.
+            let sent = commit_round(
+                sc,
+                &mut stats,
+                &mut staging,
+                &mut arena,
+                ports,
+                edge_ports,
+                cut.as_deref(),
+                bandwidth,
+                full_sweep,
+                round,
+                g,
+                |m| proto.msg_bits(m),
+            );
             round += 1;
             if !full_sweep {
                 // Stepping a superset of the active set is always exact
@@ -611,6 +745,335 @@ impl<'g> Network<'g> {
         sc.generation += 1;
         (stats, quiesced)
     }
+
+    /// The sharded-parallel twin of [`Network::drive`].
+    ///
+    /// Per round: worker threads step disjoint contiguous node shards
+    /// (each with a shard-local staging buffer and a shard-local
+    /// derivation pass computing per-message destination, receiving
+    /// port, link direction, and bit accounting), the main thread merges
+    /// the shards *in ascending shard order* (restoring the exact
+    /// sequential send order before occupancy checks and the counting
+    /// sort), and the arena materialization fans out over disjoint slot
+    /// ranges when there is enough traffic. Rounds below the work
+    /// threshold run the sequential phases on the caller thread, so
+    /// sparse active-set rounds pay nothing for the capability.
+    fn drive_par<P: ShardedProtocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
+        let n = self.graph.node_count();
+        if self.pool.threads() <= 1 || n == 0 {
+            return self.drive(proto, budget);
+        }
+        // Shard geometry is fixed for the whole drive.
+        let bounds: Vec<(usize, usize)> = match &self.shard_bounds {
+            Some(splits) => {
+                let mut b = Vec::with_capacity(splits.len() + 1);
+                let mut lo = 0;
+                for &s in splits {
+                    assert!(
+                        lo < s && s < n,
+                        "shard split points must be strictly ascending within 1..n"
+                    );
+                    b.push((lo, s));
+                    lo = s;
+                }
+                b.push((lo, n));
+                b
+            }
+            None => shardpool::even_chunks(n, self.pool.threads()),
+        };
+        let shards = bounds.len();
+        let full_sweep = self.force_full_sweep
+            || <P as ShardedProtocol>::scheduling(proto) == Scheduling::FullSweep;
+        let mut stats = RunStats::default();
+        let mut staging: Vec<(NodeId, u32, Option<P::Msg>)> = Vec::new();
+        let mut arena: Vec<(u32, P::Msg)> = Vec::new();
+        // Shard-local buffers, reused across rounds.
+        let mut bufs: Vec<ShardBufs<P::Msg>> = (0..shards).map(|_| ShardBufs::new()).collect();
+        let mut fill_chunks: Vec<Vec<(u32, P::Msg)>> = (0..shards).map(|_| Vec::new()).collect();
+        let ports = &self.ports;
+        let edge_ports = &self.edge_ports;
+        let cut = self.cut.as_deref();
+        let bandwidth = self.bandwidth;
+        let pool = &self.pool;
+        let node_threshold = self.par_node_threshold;
+        let msg_threshold = self.par_msg_threshold;
+        let sc = &mut self.scratch;
+        sc.active.clear();
+        sc.next_active.clear();
+        let mut round: u64 = 0;
+        let mut quiesced = false;
+        let mut step_all_next = true;
+        loop {
+            match budget {
+                Budget::Exact(r) if round >= r => {
+                    quiesced = true;
+                    break;
+                }
+                Budget::UntilQuiet(max) if round >= max => break,
+                _ => {}
+            }
+            sc.generation += 1;
+            let g = sc.generation;
+            let step_all = full_sweep || step_all_next;
+            let step_count = if step_all { n } else { sc.active.len() };
+            let (shared, nodes) = proto.split();
+            assert_eq!(
+                nodes.len(),
+                n,
+                "ShardedProtocol::split must expose exactly one state per node"
+            );
+            let sent = if step_count >= node_threshold.max(2) {
+                // --- Parallel step + shard-local derivation ---
+                let inbox_start = &sc.inbox_start;
+                let inbox_len = &sc.inbox_len;
+                let inbox_stamp = &sc.inbox_stamp;
+                let active: &[u32] = &sc.active;
+                let arena_r: &[(u32, P::Msg)] = &arena;
+                let mut items: Vec<StepItem<'_, P::Msg, P::Node>> = Vec::with_capacity(shards);
+                let mut rest = nodes;
+                let mut cursor = 0usize;
+                let mut bufs_iter = bufs.iter_mut();
+                for &(lo, hi) in &bounds {
+                    let (chunk, tail) = rest.split_at_mut(hi - lo);
+                    rest = tail;
+                    let act = if step_all {
+                        &active[0..0]
+                    } else {
+                        let start = cursor;
+                        while cursor < active.len() && (active[cursor] as usize) < hi {
+                            cursor += 1;
+                        }
+                        &active[start..cursor]
+                    };
+                    items.push(StepItem {
+                        lo,
+                        chunk,
+                        active: act,
+                        bufs: bufs_iter.next().expect("one buffer per shard"),
+                    });
+                }
+                pool.run(&mut items, |_, it| {
+                    let bufs = &mut *it.bufs;
+                    bufs.clear();
+                    let count = if step_all {
+                        it.chunk.len()
+                    } else {
+                        it.active.len()
+                    };
+                    for i in 0..count {
+                        let v = if step_all {
+                            it.lo + i
+                        } else {
+                            it.active[i] as usize
+                        };
+                        let inbox: &[(u32, P::Msg)] = if inbox_stamp[v] == g {
+                            let start = inbox_start[v] as usize;
+                            &arena_r[start..start + inbox_len[v] as usize]
+                        } else {
+                            &[]
+                        };
+                        let mut woke = false;
+                        let mut ctx = NodeCtx {
+                            node: v,
+                            round,
+                            ports: &ports[v],
+                            inbox,
+                            outbox: &mut bufs.staging,
+                            woke: &mut woke,
+                        };
+                        P::step_node(shared, &mut it.chunk[v - it.lo], &mut ctx);
+                        if woke && !full_sweep {
+                            bufs.woke.push(v as u32);
+                        }
+                    }
+                    // Shard-local derivation pass: everything per-message
+                    // that needs no shared engine state.
+                    for &(sender, port_idx, ref msg) in bufs.staging.iter() {
+                        let port = ports[sender][port_idx as usize];
+                        let bits =
+                            P::msg_bits(shared, msg.as_ref().expect("staged message present"));
+                        assert!(
+                            bits <= bandwidth,
+                            "CONGEST violation: {bits}-bit message exceeds bandwidth \
+                             {bandwidth} (sender {sender})",
+                        );
+                        bufs.messages += 1;
+                        bufs.bits += bits;
+                        bufs.max_bits = bufs.max_bits.max(bits);
+                        if let Some(cut) = cut {
+                            let a = cut[sender];
+                            let b = cut[port.peer];
+                            if a != b && a != Side::Neutral && b != Side::Neutral {
+                                bufs.cut_bits += bits;
+                            }
+                        }
+                        bufs.dirs
+                            .push((2 * port.link + usize::from(!port.outgoing)) as u32);
+                        bufs.dests.push(port.peer as u32);
+                        bufs.recv_ports.push(if port.outgoing {
+                            edge_ports[port.link].1
+                        } else {
+                            edge_ports[port.link].0
+                        });
+                    }
+                });
+                drop(items);
+                // --- Merge in ascending shard order ---
+                // Wake activations first, as in the sequential step loop.
+                if !full_sweep {
+                    for b in &bufs {
+                        for &w in &b.woke {
+                            let w = w as usize;
+                            if sc.active_stamp[w] != g + 1 {
+                                sc.active_stamp[w] = g + 1;
+                                sc.next_active.push(w as u32);
+                            }
+                        }
+                    }
+                }
+                sc.touched.clear();
+                sc.dests.clear();
+                sc.recv_ports.clear();
+                let mut sent = 0u64;
+                for b in &mut bufs {
+                    stats.messages += b.messages;
+                    stats.bits += b.bits;
+                    stats.max_message_bits = stats.max_message_bits.max(b.max_bits);
+                    stats.cut_bits += b.cut_bits;
+                    for i in 0..b.staging.len() {
+                        let dir = b.dirs[i] as usize;
+                        assert_ne!(
+                            sc.occupied[dir],
+                            g,
+                            "CONGEST violation: two messages on link {} direction {} in \
+                             round {} (sender {})",
+                            dir >> 1,
+                            dir & 1,
+                            round,
+                            b.staging[i].0
+                        );
+                        sc.occupied[dir] = g;
+                        let dest = b.dests[i] as usize;
+                        sc.dests.push(b.dests[i]);
+                        sc.recv_ports.push(b.recv_ports[i]);
+                        if sc.count_stamp[dest] != g {
+                            sc.count_stamp[dest] = g;
+                            sc.counts[dest] = 0;
+                            sc.touched.push(dest as u32);
+                        }
+                        sc.counts[dest] += 1;
+                        if !full_sweep && sc.active_stamp[dest] != g + 1 {
+                            sc.active_stamp[dest] = g + 1;
+                            sc.next_active.push(dest as u32);
+                        }
+                    }
+                    sent += b.staging.len() as u64;
+                    staging.append(&mut b.staging);
+                }
+                finish_order(sc, g);
+                arena.clear();
+                if staging.len() >= msg_threshold.max(2) {
+                    // Parallel materialization: disjoint slot ranges,
+                    // shared reads of `staging`/`order`, per-chunk output
+                    // buffers appended in slot order.
+                    let staging_r: &[(NodeId, u32, Option<P::Msg>)] = &staging;
+                    let order: &[u32] = &sc.order;
+                    let recv_ports: &[u32] = &sc.recv_ports;
+                    let slot_chunks = shardpool::even_chunks(staging_r.len(), shards);
+                    let mut fitems: Vec<FillItem<'_, P::Msg>> = fill_chunks
+                        .iter_mut()
+                        .zip(slot_chunks)
+                        .map(|(buf, (lo, hi))| FillItem { buf, lo, hi })
+                        .collect();
+                    pool.run(&mut fitems, |_, it| {
+                        it.buf.clear();
+                        it.buf.reserve(it.hi - it.lo);
+                        for slot in it.lo..it.hi {
+                            let i = order[slot] as usize;
+                            let msg = staging_r[i]
+                                .2
+                                .as_ref()
+                                .expect("each staged message is delivered exactly once")
+                                .clone();
+                            it.buf.push((recv_ports[i], msg));
+                        }
+                    });
+                    drop(fitems);
+                    for buf in &mut fill_chunks {
+                        arena.append(buf);
+                    }
+                } else {
+                    arena.extend(sc.order.iter().map(|&i| {
+                        let msg = staging[i as usize]
+                            .2
+                            .take()
+                            .expect("each staged message is delivered exactly once");
+                        (sc.recv_ports[i as usize], msg)
+                    }));
+                }
+                staging.clear();
+                sent
+            } else {
+                // --- Sequential fallback round ---
+                for i in 0..step_count {
+                    let v = if step_all { i } else { sc.active[i] as usize };
+                    let inbox: &[(u32, P::Msg)] = if sc.inbox_stamp[v] == g {
+                        let start = sc.inbox_start[v] as usize;
+                        &arena[start..start + sc.inbox_len[v] as usize]
+                    } else {
+                        &[]
+                    };
+                    let mut woke = false;
+                    let mut ctx = NodeCtx {
+                        node: v,
+                        round,
+                        ports: &ports[v],
+                        inbox,
+                        outbox: &mut staging,
+                        woke: &mut woke,
+                    };
+                    P::step_node(shared, &mut nodes[v], &mut ctx);
+                    if woke && !full_sweep && sc.active_stamp[v] != g + 1 {
+                        sc.active_stamp[v] = g + 1;
+                        sc.next_active.push(v as u32);
+                    }
+                }
+                commit_round(
+                    sc,
+                    &mut stats,
+                    &mut staging,
+                    &mut arena,
+                    ports,
+                    edge_ports,
+                    cut,
+                    bandwidth,
+                    full_sweep,
+                    round,
+                    g,
+                    |m| P::msg_bits(shared, m),
+                )
+            };
+            round += 1;
+            if !full_sweep {
+                step_all_next = 8 * sc.next_active.len() >= n;
+                if !step_all_next {
+                    sc.next_active.sort_unstable();
+                    std::mem::swap(&mut sc.active, &mut sc.next_active);
+                }
+                sc.next_active.clear();
+            }
+            if matches!(budget, Budget::UntilQuiet(_))
+                && sent == 0
+                && <P as ShardedProtocol>::idle(proto)
+            {
+                quiesced = true;
+                break;
+            }
+        }
+        stats.rounds = round;
+        sc.generation += 1;
+        (stats, quiesced)
+    }
 }
 
 impl fmt::Debug for Network<'_> {
@@ -627,6 +1090,191 @@ impl fmt::Debug for Network<'_> {
 enum Budget {
     Exact(u64),
     UntilQuiet(u64),
+}
+
+/// Default minimum nodes stepped in a round before the step phase fans
+/// out to worker threads. Below this, a round is cheaper than the
+/// spawn/join of a scoped fan-out, so sparse active-set workloads stay
+/// sequential automatically.
+const DEFAULT_PAR_NODE_THRESHOLD: usize = 2048;
+
+/// Default minimum staged messages before the arena materialization
+/// fans out (clones per slot are much cheaper than protocol steps, so
+/// this threshold is higher).
+const DEFAULT_PAR_MSG_THRESHOLD: usize = 8192;
+
+/// Per-shard worker buffers, reused across rounds.
+struct ShardBufs<M> {
+    /// Sends staged by this shard's nodes, in step order.
+    staging: Vec<(NodeId, u32, Option<M>)>,
+    /// Per staged message: link-direction index (`2*link + side`).
+    dirs: Vec<u32>,
+    /// Per staged message: destination node.
+    dests: Vec<u32>,
+    /// Per staged message: receiving port at the destination.
+    recv_ports: Vec<u32>,
+    /// Nodes in this shard that called [`NodeCtx::wake`], ascending.
+    woke: Vec<u32>,
+    /// Partial [`RunStats`] accounting for this shard's sends.
+    messages: u64,
+    bits: u64,
+    max_bits: u64,
+    cut_bits: u64,
+}
+
+impl<M> ShardBufs<M> {
+    fn new() -> ShardBufs<M> {
+        ShardBufs {
+            staging: Vec::new(),
+            dirs: Vec::new(),
+            dests: Vec::new(),
+            recv_ports: Vec::new(),
+            woke: Vec::new(),
+            messages: 0,
+            bits: 0,
+            max_bits: 0,
+            cut_bits: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.staging.clear();
+        self.dirs.clear();
+        self.dests.clear();
+        self.recv_ports.clear();
+        self.woke.clear();
+        self.messages = 0;
+        self.bits = 0;
+        self.max_bits = 0;
+        self.cut_bits = 0;
+    }
+}
+
+/// One step-phase work item: a contiguous node shard plus its buffers.
+struct StepItem<'a, M, N> {
+    /// First node id of the shard.
+    lo: usize,
+    /// The shard's per-node protocol state (`nodes[lo..hi]`).
+    chunk: &'a mut [N],
+    /// The shard's slice of the sorted active list (empty on sweeps).
+    active: &'a [u32],
+    bufs: &'a mut ShardBufs<M>,
+}
+
+/// One arena-fill work item: a contiguous range of arena slots.
+struct FillItem<'a, M> {
+    buf: &'a mut Vec<(u32, M)>,
+    lo: usize,
+    hi: usize,
+}
+
+/// The sequential commit phase: enforce CONGEST, account bits, count
+/// messages per destination, counting-sort, and materialize the arena.
+/// Shared by [`Network::drive`] and the below-threshold rounds of
+/// [`Network::drive_par`]; the parallel merge path mirrors it
+/// pass-for-pass (asserted bit-exact by the differential tests).
+#[allow(clippy::too_many_arguments)]
+fn commit_round<M>(
+    sc: &mut EngineScratch,
+    stats: &mut RunStats,
+    staging: &mut Vec<(NodeId, u32, Option<M>)>,
+    arena: &mut Vec<(u32, M)>,
+    ports: &[Vec<Port>],
+    edge_ports: &[(u32, u32)],
+    cut: Option<&[Side]>,
+    bandwidth: u64,
+    full_sweep: bool,
+    round: u64,
+    g: u64,
+    bits_of: impl Fn(&M) -> u64,
+) -> u64 {
+    let sent = staging.len() as u64;
+    sc.touched.clear();
+    sc.dests.clear();
+    sc.recv_ports.clear();
+    for &(sender, port_idx, ref msg) in staging.iter() {
+        let port = ports[sender][port_idx as usize];
+        let dir = 2 * port.link + usize::from(!port.outgoing);
+        assert_ne!(
+            sc.occupied[dir],
+            g,
+            "CONGEST violation: two messages on link {} direction {} in round {} \
+             (sender {})",
+            port.link,
+            usize::from(!port.outgoing),
+            round,
+            sender
+        );
+        sc.occupied[dir] = g;
+        let bits = bits_of(msg.as_ref().expect("staged message present"));
+        assert!(
+            bits <= bandwidth,
+            "CONGEST violation: {bits}-bit message exceeds bandwidth {bandwidth} \
+             (sender {sender})",
+        );
+        stats.messages += 1;
+        stats.bits += bits;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        if let Some(cut) = cut {
+            let a = cut[sender];
+            let b = cut[port.peer];
+            if a != b && a != Side::Neutral && b != Side::Neutral {
+                stats.cut_bits += bits;
+            }
+        }
+        let dest = port.peer;
+        sc.dests.push(dest as u32);
+        sc.recv_ports.push(if port.outgoing {
+            edge_ports[port.link].1
+        } else {
+            edge_ports[port.link].0
+        });
+        if sc.count_stamp[dest] != g {
+            sc.count_stamp[dest] = g;
+            sc.counts[dest] = 0;
+            sc.touched.push(dest as u32);
+        }
+        sc.counts[dest] += 1;
+        // Receiving a message activates the destination.
+        if !full_sweep && sc.active_stamp[dest] != g + 1 {
+            sc.active_stamp[dest] = g + 1;
+            sc.next_active.push(dest as u32);
+        }
+    }
+    finish_order(sc, g);
+    arena.clear();
+    arena.extend(sc.order.iter().map(|&i| {
+        let msg = staging[i as usize]
+            .2
+            .take()
+            .expect("each staged message is delivered exactly once");
+        (sc.recv_ports[i as usize], msg)
+    }));
+    staging.clear();
+    sent
+}
+
+/// CSR offsets for the next round's inboxes plus the stable
+/// counting-sort permutation (arena slot -> staging index). Reads
+/// `sc.dests`/`sc.touched`, leaves the result in `sc.order`.
+fn finish_order(sc: &mut EngineScratch, g: u64) {
+    let mut offset: u32 = 0;
+    for &d in &sc.touched {
+        let d = d as usize;
+        sc.inbox_start[d] = offset;
+        sc.inbox_len[d] = sc.counts[d];
+        sc.inbox_stamp[d] = g + 1;
+        offset += sc.counts[d];
+        sc.counts[d] = 0;
+    }
+    sc.order.clear();
+    sc.order.resize(sc.dests.len(), 0);
+    for (i, &d) in sc.dests.iter().enumerate() {
+        let d = d as usize;
+        let slot = (sc.inbox_start[d] + sc.counts[d]) as usize;
+        sc.counts[d] += 1;
+        sc.order[slot] = i as u32;
+    }
 }
 
 #[cfg(test)]

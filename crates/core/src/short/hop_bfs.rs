@@ -22,8 +22,8 @@
 //! Section 7: an edge of delay `w` behaves like `w` unit hops, which the
 //! receiver models by holding the message `w - 1` extra rounds.
 
-use congest::{word_bits, Network, NodeCtx, Protocol, Scheduling};
-use graphkit::{EdgeId, NodeId};
+use congest::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
+use graphkit::EdgeId;
 
 use crate::Instance;
 
@@ -70,56 +70,76 @@ struct Token {
     aux: u64,
 }
 
-struct HopBfsProtocol<'a, 'i> {
+/// Read-only per-run state shared by every node.
+struct HopShared<'a, 'i> {
     inst: &'i Instance<'i>,
     cfg: &'a HopBfsConfig<'a>,
+}
+
+/// One node's BFS state (sharded: the engine steps disjoint slices of
+/// these from worker threads).
+struct HopNode {
     /// The value computed this round: f*_u(round).
-    cur: Vec<Option<Token>>,
+    cur: Option<Token>,
     /// Best candidate gathered for the *current* round.
-    gather: Vec<Option<Token>>,
+    gather: Option<Token>,
     /// Delayed candidates: (release_round, token).
-    held: Vec<Vec<(u64, Token)>>,
-    /// f* records for path vertices.
-    table: Vec<Vec<Option<(usize, u64)>>>,
+    held: Vec<(u64, Token)>,
+    /// Per level `d`: the f* record. Allocated only at path vertices;
+    /// the tables are assembled from these after the run.
+    record: Vec<Option<(usize, u64)>>,
 }
 
-impl HopBfsProtocol<'_, '_> {
-    fn delay(&self, e: EdgeId) -> u64 {
-        match self.cfg.delays {
-            Some(d) => d[e],
-            None => 1,
-        }
-    }
+struct HopBfsProtocol<'a, 'i> {
+    shared: HopShared<'a, 'i>,
+    nodes: Vec<HopNode>,
+}
 
-    fn stronger(&self, a: Token, b: Option<Token>) -> bool {
-        match b {
-            None => true,
-            Some(b) => match self.cfg.objective {
-                Objective::MaxIndex => a.idx > b.idx,
-                Objective::MinIndex => a.idx < b.idx,
-            },
-        }
-    }
-
-    fn offer(&mut self, v: NodeId, t: Token) {
-        if self.stronger(t, self.gather[v]) {
-            self.gather[v] = Some(t);
-        }
+fn delay_of(cfg: &HopBfsConfig<'_>, e: EdgeId) -> u64 {
+    match cfg.delays {
+        Some(d) => d[e],
+        None => 1,
     }
 }
 
-impl Protocol for HopBfsProtocol<'_, '_> {
+fn stronger(objective: Objective, a: Token, b: Option<Token>) -> bool {
+    match b {
+        None => true,
+        Some(b) => match objective {
+            Objective::MaxIndex => a.idx > b.idx,
+            Objective::MinIndex => a.idx < b.idx,
+        },
+    }
+}
+
+fn offer(objective: Objective, node: &mut HopNode, t: Token) {
+    if stronger(objective, t, node.gather) {
+        node.gather = Some(t);
+    }
+}
+
+impl<'a, 'i> ShardedProtocol for HopBfsProtocol<'a, 'i> {
     type Msg = Token;
+    type Node = HopNode;
+    type Shared = HopShared<'a, 'i>;
 
-    fn msg_bits(&self, m: &Token) -> u64 {
+    fn msg_bits(_: &Self::Shared, m: &Token) -> u64 {
         word_bits(m.idx as u64) + word_bits(m.aux)
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Token>) {
-        self.step(ctx);
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut HopNode, ctx: &mut NodeCtx<'_, Token>) {
+        step(shared, node, ctx);
         // Held (delayed-edge) candidates mature on round numbers, not on
         // receipt: stay armed until they are all released.
-        if !self.held[ctx.node].is_empty() {
+        if !node.held.is_empty() {
             ctx.wake();
         }
     }
@@ -129,85 +149,89 @@ impl Protocol for HopBfsProtocol<'_, '_> {
     }
 }
 
-impl HopBfsProtocol<'_, '_> {
-    fn step(&mut self, ctx: &mut NodeCtx<'_, Token>) {
-        let v = ctx.node;
-        let round = ctx.round;
-        if round > self.cfg.zeta as u64 {
-            return;
+fn step(shared: &HopShared<'_, '_>, node: &mut HopNode, ctx: &mut NodeCtx<'_, Token>) {
+    let v = ctx.node;
+    let round = ctx.round;
+    let cfg = shared.cfg;
+    let inst = shared.inst;
+    if round > cfg.zeta as u64 {
+        return;
+    }
+    node.gather = None;
+    if round == 0 {
+        // Base: S_0(v_i) = {i}.
+        if let Some(pos) = inst.path_index[v] {
+            offer(
+                cfg.objective,
+                node,
+                Token {
+                    idx: pos as u32,
+                    aux: cfg.aux[pos],
+                },
+            );
         }
-        self.gather[v] = None;
-        if round == 0 {
-            // Base: S_0(v_i) = {i}.
-            if let Some(pos) = self.inst.path_index[v] {
-                self.offer(
-                    v,
-                    Token {
-                        idx: pos as u32,
-                        aux: self.cfg.aux[pos],
-                    },
-                );
-            }
-        } else {
-            let incoming: Vec<(u32, Token)> = ctx.inbox().to_vec();
-            for (port_idx, tok) in incoming {
-                let port = ctx.ports()[port_idx as usize];
-                let w = self.delay(port.link);
-                debug_assert!(w >= 1);
-                if w == 1 {
-                    self.offer(v, tok);
-                } else {
-                    self.held[v].push((round + (w - 1), tok));
-                }
-            }
-            let mut matured = Vec::new();
-            self.held[v].retain(|&(release, tok)| {
-                if release <= round {
-                    matured.push(tok);
-                    false
-                } else {
-                    true
-                }
-            });
-            for tok in matured {
-                self.offer(v, tok);
+    } else {
+        let ports = ctx.ports();
+        for &(port_idx, tok) in ctx.inbox() {
+            let port = ports[port_idx as usize];
+            let w = delay_of(cfg, port.link);
+            debug_assert!(w >= 1);
+            if w == 1 {
+                offer(cfg.objective, node, tok);
+            } else {
+                node.held.push((round + (w - 1), tok));
             }
         }
-        self.cur[v] = self.gather[v];
-        if let (Some(pos), Some(tok)) = (self.inst.path_index[v], self.cur[v]) {
-            self.table[pos][round as usize] = Some((tok.idx as usize, tok.aux));
+        let mut matured = Vec::new();
+        node.held.retain(|&(release, tok)| {
+            if release <= round {
+                matured.push(tok);
+                false
+            } else {
+                true
+            }
+        });
+        for tok in matured {
+            offer(cfg.objective, node, tok);
         }
-        // Propagate the strongest origin.
-        if let Some(tok) = self.cur[v] {
-            if round == self.cfg.zeta as u64 {
-                return; // final level recorded; nothing further to send
+    }
+    node.cur = node.gather;
+    if let (Some(_), Some(tok)) = (inst.path_index[v], node.cur) {
+        node.record[round as usize] = Some((tok.idx as usize, tok.aux));
+    }
+    // Propagate the strongest origin.
+    if let Some(tok) = node.cur {
+        if round == cfg.zeta as u64 {
+            return; // final level recorded; nothing further to send
+        }
+        for (pi, port) in ctx.ports().iter().enumerate() {
+            // Exclude edges of P entirely (Lemma 4.2: the BFS lives in
+            // G \ P) and respect travel direction.
+            if inst.is_path_edge[port.link] {
+                continue;
             }
-            let ports: Vec<congest::Port> = ctx.ports().to_vec();
-            for (pi, port) in ports.iter().enumerate() {
-                // Exclude edges of P entirely (Lemma 4.2: the BFS lives in
-                // G \ P) and respect travel direction.
-                if self.inst.is_path_edge[port.link] {
-                    continue;
-                }
-                let sends_here = match self.cfg.objective {
-                    Objective::MaxIndex => !port.outgoing, // towards in-neighbors
-                    Objective::MinIndex => port.outgoing,  // towards out-neighbors
-                };
-                if !sends_here {
-                    continue;
-                }
-                let w = self.delay(port.link);
-                if w == 0 || round + w > self.cfg.zeta as u64 {
-                    continue;
-                }
-                ctx.send(pi as u32, tok);
+            let sends_here = match cfg.objective {
+                Objective::MaxIndex => !port.outgoing, // towards in-neighbors
+                Objective::MinIndex => port.outgoing,  // towards out-neighbors
+            };
+            if !sends_here {
+                continue;
             }
+            let w = delay_of(cfg, port.link);
+            if w == 0 || round + w > cfg.zeta as u64 {
+                continue;
+            }
+            ctx.send(pi as u32, tok);
         }
     }
 }
 
 /// Runs Lemma 4.2 (or its mirror) and returns the `f*` tables for all
 /// path vertices. Deterministic; charges exactly `ζ + 1` rounds.
+///
+/// Runs on the sharded-parallel engine path (every node is stepped
+/// every active round in dense instances); results are bit-identical
+/// to a sequential run.
 pub fn hop_constrained_bfs(
     net: &mut Network<'_>,
     inst: &Instance<'_>,
@@ -224,15 +248,29 @@ pub fn hop_constrained_bfs(
         assert_eq!(d.len(), inst.graph.edge_count());
     }
     let mut proto = HopBfsProtocol {
-        inst,
-        cfg,
-        cur: vec![None; n],
-        gather: vec![None; n],
-        held: vec![Vec::new(); n],
-        table: vec![vec![None; cfg.zeta + 1]; inst.hops() + 1],
+        shared: HopShared { inst, cfg },
+        nodes: (0..n)
+            .map(|v| HopNode {
+                cur: None,
+                gather: None,
+                held: Vec::new(),
+                record: if inst.path_index[v].is_some() {
+                    vec![None; cfg.zeta + 1]
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect(),
     };
-    net.run_rounds(phase, &mut proto, cfg.zeta as u64 + 1);
-    FStar { table: proto.table }
+    net.run_rounds_par(phase, &mut proto, cfg.zeta as u64 + 1);
+    // Assemble the per-position tables from the path vertices' records.
+    let mut table = vec![vec![None; cfg.zeta + 1]; inst.hops() + 1];
+    for (v, node) in proto.nodes.into_iter().enumerate() {
+        if let Some(pos) = inst.path_index[v] {
+            table[pos] = node.record;
+        }
+    }
+    FStar { table }
 }
 
 #[cfg(test)]

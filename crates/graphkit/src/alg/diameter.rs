@@ -7,24 +7,28 @@ use std::collections::VecDeque;
 
 use crate::{DiGraph, NodeId};
 
-/// Undirected eccentricity of `v`: the largest hop distance from `v` to
-/// any vertex reachable over undirected edges.
-///
-/// Returns `None` when some vertex is unreachable (disconnected
-/// communication graph).
-pub fn undirected_eccentricity(graph: &DiGraph, v: NodeId) -> Option<usize> {
+/// One undirected BFS from `v` over the precomputed neighbor CSR,
+/// reusing the caller's scratch buffers (generation-stamped visitation,
+/// so `dist` is never cleared between sources).
+fn ecc_from(
+    graph: &DiGraph,
+    v: NodeId,
+    dist: &mut [(u64, usize)],
+    queue: &mut VecDeque<NodeId>,
+    generation: u64,
+) -> Option<usize> {
     let n = graph.node_count();
-    let mut dist = vec![usize::MAX; n];
-    let mut queue = VecDeque::new();
-    dist[v] = 0;
+    queue.clear();
+    dist[v] = (generation, 0);
     queue.push_back(v);
     let mut reached = 1;
     let mut ecc = 0;
     while let Some(u) = queue.pop_front() {
+        let du = dist[u].1;
         for w in graph.undirected_neighbors(u) {
-            if dist[w] == usize::MAX {
-                dist[w] = dist[u] + 1;
-                ecc = ecc.max(dist[w]);
+            if dist[w].0 != generation {
+                dist[w] = (generation, du + 1);
+                ecc = ecc.max(du + 1);
                 reached += 1;
                 queue.push_back(w);
             }
@@ -33,15 +37,33 @@ pub fn undirected_eccentricity(graph: &DiGraph, v: NodeId) -> Option<usize> {
     (reached == n).then_some(ecc)
 }
 
-/// Exact undirected diameter via a BFS from every vertex; `O(n·m)`.
+/// Undirected eccentricity of `v`: the largest hop distance from `v` to
+/// any vertex reachable over undirected edges.
+///
+/// Returns `None` when some vertex is unreachable (disconnected
+/// communication graph).
+pub fn undirected_eccentricity(graph: &DiGraph, v: NodeId) -> Option<usize> {
+    let n = graph.node_count();
+    let mut dist = vec![(0u64, 0usize); n];
+    let mut queue = VecDeque::new();
+    ecc_from(graph, v, &mut dist, &mut queue, 1)
+}
+
+/// Exact undirected diameter via a BFS from every vertex; `O(n·m)` time
+/// and `O(n)` space — the per-source scratch is allocated once and
+/// generation-stamped, and neighbor iteration borrows the undirected
+/// CSR precomputed at graph build time.
 ///
 /// Returns `None` for a disconnected communication graph. Distributed
 /// algorithms in this workspace require a connected communication graph,
 /// so generators assert this.
 pub fn undirected_diameter(graph: &DiGraph) -> Option<usize> {
+    let n = graph.node_count();
+    let mut dist = vec![(0u64, 0usize); n];
+    let mut queue = VecDeque::with_capacity(n);
     let mut best = 0;
     for v in graph.nodes() {
-        best = best.max(undirected_eccentricity(graph, v)?);
+        best = best.max(ecc_from(graph, v, &mut dist, &mut queue, v as u64 + 1)?);
     }
     Some(best)
 }

@@ -51,6 +51,10 @@ pub struct DiGraph {
     edges: Vec<Edge>,
     out_index: Csr,
     in_index: Csr,
+    /// Deduplicated undirected adjacency (CONGEST communication
+    /// neighbors), precomputed once at build time so neighbor iteration
+    /// is allocation-free.
+    undirected: Csr,
     unweighted: bool,
 }
 
@@ -83,6 +87,35 @@ impl Csr {
     fn slice(&self, k: usize) -> &[u32] {
         &self.items[self.offsets[k] as usize..self.offsets[k + 1] as usize]
     }
+}
+
+/// Deduplicated undirected adjacency in one `O(n + m)` pass: per vertex,
+/// successors then predecessors in first-occurrence order, with a
+/// stamp array standing in for a per-vertex hash set.
+fn build_undirected(n: usize, edges: &[Edge], out_index: &Csr, in_index: &Csr) -> Csr {
+    let mut mark = vec![u32::MAX; n];
+    let mut offsets = vec![0u32; n + 1];
+    let mut items = Vec::with_capacity(2 * edges.len());
+    for v in 0..n {
+        let stamp = v as u32;
+        for &e in out_index.slice(v) {
+            let u = edges[e as usize].to;
+            if mark[u] != stamp {
+                mark[u] = stamp;
+                items.push(u as u32);
+            }
+        }
+        for &e in in_index.slice(v) {
+            let u = edges[e as usize].from;
+            if mark[u] != stamp {
+                mark[u] = stamp;
+                items.push(u as u32);
+            }
+        }
+        offsets[v + 1] = items.len() as u32;
+    }
+    items.shrink_to_fit();
+    Csr { offsets, items }
 }
 
 impl DiGraph {
@@ -160,16 +193,20 @@ impl DiGraph {
     }
 
     /// Neighbors of `v` in the *underlying undirected* graph, i.e. the
-    /// CONGEST communication neighbors, deduplicated.
-    pub fn undirected_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut seen = HashSet::new();
-        let mut out = Vec::new();
-        for u in self.successors(v).chain(self.predecessors(v)) {
-            if seen.insert(u) {
-                out.push(u);
-            }
-        }
-        out
+    /// CONGEST communication neighbors, deduplicated (successors first,
+    /// then predecessors, in first-occurrence order).
+    ///
+    /// Borrows the CSR precomputed at build time — no per-call
+    /// allocation, `O(1)` per neighbor.
+    pub fn undirected_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.undirected.slice(v).iter().map(|&u| u as NodeId)
+    }
+
+    /// Number of distinct undirected neighbors of `v` (its degree in the
+    /// communication graph).
+    #[inline]
+    pub fn undirected_degree(&self, v: NodeId) -> usize {
+        self.undirected.slice(v).len()
     }
 
     /// Returns a graph with every edge reversed; edge ids are preserved.
@@ -298,12 +335,14 @@ impl GraphBuilder {
         let m = self.edges.len();
         let out_index = Csr::build(self.n, self.edges.iter().map(|e| e.from), m);
         let in_index = Csr::build(self.n, self.edges.iter().map(|e| e.to), m);
+        let undirected = build_undirected(self.n, &self.edges, &out_index, &in_index);
         let unweighted = self.edges.iter().all(|e| e.weight == 1);
         DiGraph {
             n: self.n,
             edges: self.edges,
             out_index,
             in_index,
+            undirected,
             unweighted,
         }
     }
@@ -348,7 +387,38 @@ mod tests {
         b.add_arc(0, 1);
         b.add_arc(1, 0);
         let g = b.build();
-        assert_eq!(g.undirected_neighbors(0), vec![1]);
+        assert_eq!(g.undirected_neighbors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(g.undirected_degree(0), 1);
+    }
+
+    #[test]
+    fn undirected_csr_matches_naive_dedup() {
+        // First-occurrence order: successors, then predecessors.
+        let mut b = GraphBuilder::new(5);
+        b.add_arc(0, 3);
+        b.add_arc(0, 1);
+        b.add_arc(2, 0);
+        b.add_arc(3, 0); // duplicate neighbor via reverse edge
+        b.add_arc(0, 3); // parallel edge
+        let g = b.build();
+        assert_eq!(g.undirected_neighbors(0).collect::<Vec<_>>(), vec![3, 1, 2]);
+        assert_eq!(g.undirected_degree(0), 3);
+        assert_eq!(g.undirected_neighbors(4).count(), 0);
+        // Cross-check every vertex against a HashSet-based dedup.
+        for v in g.nodes() {
+            let mut seen = HashSet::new();
+            let mut expect = Vec::new();
+            for u in g.successors(v).chain(g.predecessors(v)) {
+                if seen.insert(u) {
+                    expect.push(u);
+                }
+            }
+            assert_eq!(
+                g.undirected_neighbors(v).collect::<Vec<_>>(),
+                expect,
+                "vertex {v}"
+            );
+        }
     }
 
     #[test]

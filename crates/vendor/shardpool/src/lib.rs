@@ -1,0 +1,215 @@
+//! A minimal scoped shard pool for deterministic data-parallel rounds.
+//!
+//! Offline stand-in for the usual rayon-style scoped pools, built only on
+//! [`std::thread::scope`]. The model is intentionally narrow: a caller
+//! owns a list of disjoint *work items* (one per shard) and a `Fn` that
+//! processes one item; [`Pool::run`] executes every item concurrently and
+//! returns when all are done. Because each worker gets exclusive `&mut`
+//! access to exactly one item and only shared access to everything else,
+//! the result of a run is a pure function of the inputs — parallelism
+//! cannot introduce nondeterminism, which is what the CONGEST engine's
+//! bit-exactness invariant relies on.
+//!
+//! The pool object is persistent configuration (thread count, resolved
+//! once — e.g. from the `CONGEST_THREADS` environment variable); the OS
+//! threads themselves are spawned per [`Pool::run`] call, because reusing
+//! parked workers for non-`'static` borrows requires lifetime-erasing
+//! `unsafe` (as in rayon/crossbeam) and this workspace forbids unsafe
+//! code. Callers amortize the spawn cost by batching a whole shard of
+//! work into each item and by falling back to [`Pool::run_sequential`]
+//! below a work threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Upper bound on auto-detected parallelism: CONGEST rounds are
+/// memory-bound barrier workloads, where very wide fan-out only adds
+/// spawn/join latency. Explicit settings may exceed this.
+pub const AUTO_THREAD_CAP: usize = 8;
+
+/// A handle carrying the degree of parallelism for scoped shard runs.
+///
+/// # Examples
+///
+/// ```
+/// let pool = shardpool::Pool::new(4);
+/// let mut sums = vec![0u64; 4];
+/// pool.run(&mut sums, |i, s| *s = (i as u64) * 10);
+/// assert_eq!(sums, vec![0, 10, 20, 30]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that runs `threads` items concurrently (`0` and `1` both
+    /// mean sequential execution on the caller's thread).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolves the thread count from the environment variable `var`
+    /// (unset, empty, or `0` means auto-detect: available parallelism
+    /// capped at [`AUTO_THREAD_CAP`]; unparsable values fall back to
+    /// sequential).
+    pub fn from_env(var: &str) -> Pool {
+        let configured = std::env::var(var)
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<usize>().map_err(|_| s));
+        match configured {
+            Some(Ok(t)) if t > 0 => Pool::new(t),
+            None | Some(Ok(_)) => Pool::new(
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(AUTO_THREAD_CAP),
+            ),
+            Some(Err(_)) => Pool::new(1),
+        }
+    }
+
+    /// The configured degree of parallelism.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reconfigures the degree of parallelism in place.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Processes every item, concurrently when the pool has more than
+    /// one thread and there is more than one item.
+    ///
+    /// `f` is called exactly once per item with the item's index; item 0
+    /// runs on the calling thread, so a single-item run never spawns.
+    /// Items beyond the pool's thread count still all run (the caller
+    /// chose the fan-out by choosing the item count); the pool width is
+    /// advisory sizing for that choice via [`Pool::threads`].
+    pub fn run<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            self.run_sequential(items, f);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut iter = items.iter_mut().enumerate();
+            let (first_idx, first) = iter.next().expect("len > 1");
+            for (i, item) in iter {
+                let f = &f;
+                scope.spawn(move || f(i, item));
+            }
+            f(first_idx, first);
+        });
+    }
+
+    /// Processes every item on the calling thread, in index order — the
+    /// reference execution that [`Pool::run`] must be indistinguishable
+    /// from.
+    pub fn run_sequential<T, F>(&self, items: &mut [T], f: F)
+    where
+        F: Fn(usize, &mut T),
+    {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, ascending,
+/// near-equal, non-empty ranges (fewer when `len < parts`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(shardpool::even_chunks(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+/// assert_eq!(shardpool::even_chunks(2, 8).len(), 2);
+/// assert!(shardpool::even_chunks(0, 4).is_empty());
+/// ```
+pub fn even_chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let size = len.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + size).min(len);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let pool = Pool::new(4);
+        let mut hits = vec![0u32; 13];
+        pool.run(&mut hits, |i, h| *h += i as u32 + 1);
+        assert_eq!(hits, (1..=13).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sequential_pool_never_spawns_but_matches() {
+        let mut par = vec![0u64; 7];
+        let mut seq = vec![0u64; 7];
+        Pool::new(8).run(&mut par, |i, x| *x = (i as u64).pow(3));
+        Pool::new(1).run(&mut seq, |i, x| *x = (i as u64).pow(3));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        let mut p = Pool::new(4);
+        p.set_threads(0);
+        assert_eq!(p.threads(), 1);
+    }
+
+    #[test]
+    fn from_env_parses_and_falls_back() {
+        // Unset variable: auto-detected, at least 1, at most the cap.
+        let auto = Pool::from_env("SHARDPOOL_TEST_UNSET_VAR");
+        assert!((1..=AUTO_THREAD_CAP).contains(&auto.threads()));
+
+        std::env::set_var("SHARDPOOL_TEST_VAR", "3");
+        assert_eq!(Pool::from_env("SHARDPOOL_TEST_VAR").threads(), 3);
+        std::env::set_var("SHARDPOOL_TEST_VAR", "not-a-number");
+        assert_eq!(Pool::from_env("SHARDPOOL_TEST_VAR").threads(), 1);
+        std::env::set_var("SHARDPOOL_TEST_VAR", "0");
+        let t = Pool::from_env("SHARDPOOL_TEST_VAR").threads();
+        assert!((1..=AUTO_THREAD_CAP).contains(&t));
+        std::env::remove_var("SHARDPOOL_TEST_VAR");
+    }
+
+    #[test]
+    fn even_chunks_cover_everything_in_order() {
+        for len in [0usize, 1, 2, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let chunks = even_chunks(len, parts);
+                assert!(chunks.len() <= parts.max(1));
+                let mut expect = 0;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, expect, "len {len} parts {parts}");
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+}

@@ -1,13 +1,19 @@
-//! Differential property tests for the active-set round engine.
+//! Differential property tests for the active-set round engine and its
+//! sharded-parallel execution path.
 //!
-//! The engine's activation contract (`Protocol::scheduling`) and flat
-//! mailbox arenas are wall-clock optimizations only: for every protocol
-//! in the workspace, an active-set run must produce *bit-identical*
-//! [`congest::RunStats`] (rounds, messages, bits, cut bits, max message
-//! size) and identical outputs to the full-sweep reference schedule
-//! (`Network::set_full_sweep`). These tests drive all five communication
-//! primitives, the Lemma 4.2 hop-BFS, and the end-to-end Theorem 1
-//! solver across random topologies under both schedules and compare.
+//! The engine's activation contract (`Protocol::scheduling`), flat
+//! mailbox arenas, and sharded parallelism are wall-clock optimizations
+//! only: for every protocol in the workspace, an active-set run must
+//! produce *bit-identical* [`congest::RunStats`] (rounds, messages,
+//! bits, cut bits, max message size) and identical outputs to the
+//! full-sweep reference schedule (`Network::set_full_sweep`), and a
+//! parallel run must be bit-identical to a sequential one at every
+//! thread count. These tests drive all five communication primitives,
+//! the Lemma 4.2 hop-BFS, and the end-to-end Theorem 1 solver across
+//! random topologies under both schedules, and run every migrated
+//! sharded protocol through the full
+//! `{sequential, 2 threads, 8 threads} × {active-set, full-sweep} ×
+//! {sparse, dense}` matrix.
 
 use congest::aggregate::{aggregate, AggOp};
 use congest::bfs_tree::build_bfs_tree;
@@ -185,6 +191,102 @@ proptest! {
         });
         prop_assert_eq!(sa, ss);
         prop_assert!(sa.cut_bits > 0, "cut accounting exercised");
+    }
+}
+
+/// Runs `f` once on the sequential engine (the reference) and then
+/// under every configuration of the parallel matrix — thread counts
+/// {2, 8} × schedules {active-set, forced full sweep} — with the
+/// work-threshold fallback disabled so parallelism engages even on
+/// test-sized graphs. Asserts every result is bit-identical to the
+/// reference.
+fn parallel_matrix<T: PartialEq + std::fmt::Debug>(
+    g: &graphkit::DiGraph,
+    mut f: impl FnMut(&mut Network<'_>) -> T,
+) {
+    let mut reference_net = Network::new(g);
+    reference_net.set_threads(1);
+    let reference = f(&mut reference_net);
+    for threads in [2usize, 8] {
+        for sweep in [false, true] {
+            let mut net = Network::new(g);
+            net.set_threads(threads);
+            net.set_parallel_threshold(0);
+            net.set_full_sweep(sweep);
+            let out = f(&mut net);
+            assert_eq!(
+                out, reference,
+                "diverged at threads = {threads}, full_sweep = {sweep}"
+            );
+        }
+    }
+}
+
+/// Sparse and dense topologies for the parallel matrix.
+fn matrix_graphs() -> Vec<graphkit::DiGraph> {
+    vec![
+        random_digraph(41, 45, 11),  // sparse: active set stays small
+        random_digraph(48, 300, 12), // dense: every node busy most rounds
+    ]
+}
+
+#[test]
+fn parallel_broadcast_matches_sequential_bitwise() {
+    for g in matrix_graphs() {
+        let n = g.node_count();
+        let items: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..1 + v % 3).map(|j| (v * 16 + j) as u64).collect())
+            .collect();
+        parallel_matrix(&g, |net| {
+            let (tree, tree_stats) = build_bfs_tree(net, 0);
+            let (out, stats) = broadcast(net, &tree, items.clone(), |_| 16, "bc");
+            (out, stats, tree_stats)
+        });
+    }
+}
+
+#[test]
+fn parallel_multi_bfs_matches_sequential_bitwise() {
+    for g in matrix_graphs() {
+        let n = g.node_count();
+        let sources: Vec<usize> = (0..5).map(|i| (i * 13 + 1) % n).collect();
+        let delays: Vec<u64> = (0..g.edge_count()).map(|e| 1 + (e as u64) % 3).collect();
+        for (reverse, with_delays) in [(false, false), (true, false), (false, true)] {
+            let cfg = MultiBfsConfig {
+                sources: &sources,
+                max_dist: 25,
+                reverse,
+                delays: with_delays.then_some(delays.as_slice()),
+            };
+            parallel_matrix(&g, |net| {
+                multi_source_bfs(net, &cfg, |_| true, "mbfs", 8 * default_budget(5, 25))
+                    .expect("quiesces")
+            });
+        }
+    }
+}
+
+#[test]
+fn parallel_hop_bfs_matches_sequential_bitwise() {
+    use rpaths_core::short::hop_bfs::{hop_constrained_bfs, HopBfsConfig, Objective};
+    for (extra, seed) in [(30usize, 3u64), (400, 4)] {
+        let (g, s, t) = planted_path_digraph(44, 12, extra, seed);
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let aux: Vec<u64> = (0..=inst.hops())
+            .map(|j| inst.suffix[j].finite().unwrap())
+            .collect();
+        for objective in [Objective::MaxIndex, Objective::MinIndex] {
+            let cfg = HopBfsConfig {
+                zeta: 14,
+                objective,
+                delays: None,
+                aux: &aux,
+            };
+            parallel_matrix(&g, |net| {
+                let fstar = hop_constrained_bfs(net, &inst, &cfg, "hop-bfs");
+                (fstar.table, net.metrics().total)
+            });
+        }
     }
 }
 

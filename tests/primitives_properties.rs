@@ -7,11 +7,87 @@ use congest::bfs_tree::build_bfs_tree;
 use congest::broadcast::broadcast;
 use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
 use congest::pipeline::{diagonal_dp, prefix_sweep, Lane};
-use congest::Network;
+use congest::{Network, NodeCtx, RunStats, Scheduling, ShardedProtocol};
 use graphkit::alg::bfs_hop_bounded;
 use graphkit::gen::random_digraph;
-use graphkit::{Dist, GraphBuilder};
+use graphkit::{DiGraph, Dist, GraphBuilder};
 use proptest::prelude::*;
+
+/// A traffic generator that records exactly what the engine delivers:
+/// every node sends on a pseudo-random subset of its ports each round
+/// and logs its inbox verbatim (round, port, payload). Any change to
+/// delivery contents *or order* — the quantities the sharded-parallel
+/// engine must preserve — shows up as a log difference.
+struct RecShared {
+    seed: u64,
+    send_rounds: u64,
+}
+
+struct RecNode {
+    log: Vec<(u64, u32, u64)>,
+}
+
+struct Recorder {
+    shared: RecShared,
+    nodes: Vec<RecNode>,
+}
+
+impl ShardedProtocol for Recorder {
+    type Msg = u64;
+    type Node = RecNode;
+    type Shared = RecShared;
+
+    fn msg_bits(_: &RecShared, _: &u64) -> u64 {
+        32
+    }
+
+    fn shared(&self) -> &RecShared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&RecShared, &mut [RecNode]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &RecShared, node: &mut RecNode, ctx: &mut NodeCtx<'_, u64>) {
+        for &(port, msg) in ctx.inbox() {
+            node.log.push((ctx.round, port, msg));
+        }
+        if ctx.round < shared.send_rounds {
+            let v = ctx.node as u64;
+            for p in 0..ctx.ports().len() as u32 {
+                if (v * 31 + ctx.round * 17 + p as u64 * 7 + shared.seed).is_multiple_of(3) {
+                    ctx.send(p, (v << 32) | (ctx.round << 16) | p as u64);
+                }
+            }
+            ctx.wake();
+        }
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
+}
+
+/// Drives the recorder for `send_rounds + 1` rounds under `configure`
+/// and returns (per-node logs, stats).
+fn run_recorder(
+    g: &DiGraph,
+    seed: u64,
+    send_rounds: u64,
+    configure: impl FnOnce(&mut Network<'_>),
+) -> (Vec<Vec<(u64, u32, u64)>>, RunStats) {
+    let mut net = Network::new(g);
+    configure(&mut net);
+    let mut proto = Recorder {
+        shared: RecShared { seed, send_rounds },
+        nodes: (0..g.node_count())
+            .map(|_| RecNode { log: Vec::new() })
+            .collect(),
+    };
+    let stats = net.run_rounds_par("recorder", &mut proto, send_rounds + 1);
+    (proto.nodes.into_iter().map(|nd| nd.log).collect(), stats)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -151,6 +227,42 @@ proptest! {
             let (tree, _) = build_bfs_tree(&mut net, seed as usize % n);
             prop_assert_eq!(aggregate(&mut net, &tree, op, &values), expect);
         }
+    }
+
+    #[test]
+    fn shard_geometry_never_changes_delivery(
+        n in 8usize..48,
+        density in 1usize..4,
+        threads in 2usize..9,
+        nsplits in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = random_digraph(n, density * n + n / 2, seed);
+        let (ref_logs, ref_stats) =
+            run_recorder(&g, seed, 6, |net| net.set_threads(1));
+        // Random interior shard split points, derived deterministically
+        // from the generated inputs.
+        let mut splits: Vec<usize> = (0..nsplits)
+            .map(|i| 1 + ((seed as usize)
+                .wrapping_mul(31)
+                .wrapping_add(i * 7 + threads) % (n - 1)))
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+        let (par_logs, par_stats) = run_recorder(&g, seed, 6, |net| {
+            net.set_threads(threads);
+            net.set_parallel_threshold(0);
+            net.set_shard_bounds(Some(splits.clone()));
+        });
+        prop_assert_eq!(par_stats, ref_stats, "splits {:?}", &splits);
+        prop_assert_eq!(par_logs, ref_logs, "splits {:?}", &splits);
+        // Even chunking (no explicit bounds) must agree too.
+        let (even_logs, even_stats) = run_recorder(&g, seed, 6, |net| {
+            net.set_threads(threads);
+            net.set_parallel_threshold(0);
+        });
+        prop_assert_eq!(even_stats, ref_stats);
+        prop_assert_eq!(even_logs, ref_logs);
     }
 
     #[test]
