@@ -18,9 +18,12 @@
 //! Besides the Criterion timings, the bench writes `BENCH_engine.json`
 //! at the repo root with rounds-per-second for both schedules and for
 //! thread counts {1, 2, 4, 8} so the perf trajectory is tracked across
-//! PRs. All configurations are *bit-exact* in simulated
-//! rounds/messages (see `tests/engine_equivalence.rs`); only wall-clock
-//! differs.
+//! PRs. Since every protocol now runs on the sharded engine, the report
+//! also carries **end-to-end solver rows** (Theorem 1, 2-SiSP, and the
+//! MR24 baseline on Table 1-style planted-path workloads) — the perf
+//! trajectory measures what the paper measures, not just one kernel.
+//! All configurations are *bit-exact* in simulated rounds/messages (see
+//! `tests/engine_equivalence.rs`); only wall-clock differs.
 
 use std::time::Instant;
 
@@ -31,6 +34,8 @@ use congest::Network;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::gen::random_digraph;
 use graphkit::{DiGraph, GraphBuilder};
+use rpaths_bench::{bench_params, random_case};
+use rpaths_core::{baseline, sisp, unweighted, Instance, Params};
 use serde::Serialize;
 
 fn line(n: usize) -> DiGraph {
@@ -64,7 +69,7 @@ fn run_dense_broadcast(g: &DiGraph, full_sweep: bool) -> u64 {
     let mut net = Network::new(g);
     net.set_full_sweep(full_sweep);
     net.set_threads(1);
-    let (tree, _) = build_bfs_tree(&mut net, 0);
+    let (tree, _) = build_bfs_tree(&mut net, 0).expect("connected");
     let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
     let (_, stats) = broadcast(&mut net, &tree, items, |_| 16, "bc");
     stats.rounds
@@ -75,7 +80,7 @@ fn run_broadcast_threads(g: &DiGraph, threads: usize) -> u64 {
     let n = g.node_count();
     let mut net = Network::new(g);
     net.set_threads(threads);
-    let (tree, _) = build_bfs_tree(&mut net, 0);
+    let (tree, _) = build_bfs_tree(&mut net, 0).expect("connected");
     let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
     let (_, stats) = broadcast(&mut net, &tree, items, |_| 16, "bc");
     stats.rounds
@@ -148,6 +153,33 @@ struct EngineReport {
     host_cpus: usize,
     workloads: Vec<WorkloadReport>,
     parallel: Vec<ParallelReport>,
+    /// End-to-end solver runs (all phases on the sharded engine): the
+    /// Table 1 quantities, per thread count.
+    end_to_end: Vec<ParallelReport>,
+}
+
+/// One full Theorem 1 solve; returns simulated rounds.
+fn run_unweighted_solve(inst: &Instance<'_>, params: &Params, threads: usize) -> u64 {
+    let mut net = congest::Network::new(inst.graph);
+    net.set_threads(threads);
+    let _ = unweighted::solve_on(&mut net, inst, params).expect("connected");
+    net.metrics().rounds()
+}
+
+/// One full 2-SiSP solve (Theorem 1 + O(D) aggregation).
+fn run_sisp_solve(inst: &Instance<'_>, params: &Params, threads: usize) -> u64 {
+    let mut net = congest::Network::new(inst.graph);
+    net.set_threads(threads);
+    let _ = sisp::solve_on(&mut net, inst, params).expect("connected");
+    net.metrics().rounds()
+}
+
+/// One full MR24 baseline solve.
+fn run_mr24_solve(inst: &Instance<'_>, params: &Params, threads: usize) -> u64 {
+    let mut net = congest::Network::new(inst.graph);
+    net.set_threads(threads);
+    let _ = baseline::mr24::solve_on(&mut net, inst, params).expect("connected");
+    net.metrics().rounds()
 }
 
 /// Measures `f` (already bound to a schedule) and returns rounds/sec.
@@ -306,11 +338,50 @@ fn bench_engine(c: &mut Criterion) {
         }));
     }
 
+    // End-to-end solver rows on Table 1-style workloads: every phase of
+    // every solve now rides the sharded engine, so the thread sweep
+    // measures the composed pipeline, not one kernel.
+    let mut end_to_end = Vec::new();
+    let mut group = c.benchmark_group("engine_e2e_solvers");
+    group.sample_size(2);
+    for &n in &[128usize, 256, 512] {
+        let case = random_case(n, n / 8, 5);
+        let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
+        let params = bench_params(n, 5);
+        if n == 256 {
+            for &threads in &[1usize, 4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("unweighted_threads_{threads}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| run_unweighted_solve(&inst, &params, threads));
+                    },
+                );
+            }
+        }
+        end_to_end.extend(measure_parallel("e2e_unweighted_solve", n, 1, |t| {
+            run_unweighted_solve(&inst, &params, t)
+        }));
+        end_to_end.extend(measure_parallel("e2e_sisp_solve", n, 1, |t| {
+            run_sisp_solve(&inst, &params, t)
+        }));
+        if n == 256 {
+            // The baseline comparison row (MR24 is the algorithm the
+            // paper improves on) at one representative size, on the
+            // exact same instance as the e2e rows above.
+            end_to_end.extend(measure_parallel("e2e_mr24_solve", n, 1, |t| {
+                run_mr24_solve(&inst, &params, t)
+            }));
+        }
+    }
+    group.finish();
+
     let report = EngineReport {
         bench: "engine".to_string(),
         host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
         workloads: reports,
         parallel,
+        end_to_end,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize");

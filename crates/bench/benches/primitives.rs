@@ -20,7 +20,7 @@ fn bench_broadcast(c: &mut Criterion) {
             |b, &(n, m_items)| {
                 b.iter(|| {
                     let mut net = Network::new(&g);
-                    let (tree, _) = build_bfs_tree(&mut net, 0);
+                    let (tree, _) = build_bfs_tree(&mut net, 0).expect("connected");
                     let items: Vec<Vec<u64>> = (0..n)
                         .map(|v| if v < m_items { vec![v as u64] } else { vec![] })
                         .collect();

@@ -84,8 +84,12 @@ fn main() {
         let n = case.graph.node_count();
         let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
         let params = bench_params(n, 13);
-        let ours = unweighted::solve(&inst, &params).metrics;
-        let mr = baseline::mr24::solve(&inst, &params).metrics;
+        let ours = unweighted::solve(&inst, &params)
+            .expect("connected")
+            .metrics;
+        let mr = baseline::mr24::solve(&inst, &params)
+            .expect("connected")
+            .metrics;
         let ours_bc = {
             let mut s = ours.phase_total("broadcast");
             s.absorb(&ours.phase_total("lemma2.5/broadcast"));

@@ -126,7 +126,7 @@ pub fn bench_params(n: usize, seed: u64) -> Params {
 /// Measures Theorem 1 on a case.
 pub fn measure_ours(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
-    let out = unweighted::solve(&inst, params);
+    let out = unweighted::solve(&inst, params).expect("connected benchmark graph");
     let oracle = replacement_lengths(&case.graph, &inst.path);
     finish_row(
         "theorem1",
@@ -141,7 +141,7 @@ pub fn measure_ours(case: &Case, params: &Params) -> Row {
 /// Measures the MR24 baseline on a case.
 pub fn measure_mr24(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
-    let out = baseline::mr24::solve(&inst, params);
+    let out = baseline::mr24::solve(&inst, params).expect("connected benchmark graph");
     let oracle = replacement_lengths(&case.graph, &inst.path);
     finish_row(
         "mr24",
@@ -156,7 +156,7 @@ pub fn measure_mr24(case: &Case, params: &Params) -> Row {
 /// Measures the naive `h_st`-BFS baseline on a case.
 pub fn measure_naive(case: &Case, params: &Params) -> Row {
     let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
-    let out = baseline::naive::solve(&inst, params);
+    let out = baseline::naive::solve(&inst, params).expect("connected benchmark graph");
     let oracle = replacement_lengths(&case.graph, &inst.path);
     finish_row(
         "naive",
@@ -178,7 +178,7 @@ pub fn measure_weighted(n: usize, max_w: u64, seed: u64) -> Option<Row> {
         return None;
     }
     let params = bench_params(n, seed);
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).expect("connected benchmark graph");
     let oracle = replacement_lengths(&graph, &inst.path);
     let correct = out
         .check_guarantee(&oracle, params.eps_num, params.eps_den)

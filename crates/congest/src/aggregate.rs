@@ -11,7 +11,7 @@
 use graphkit::Dist;
 
 use crate::bfs_tree::BfsTree;
-use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
+use crate::network::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
 
 /// The supported aggregation operators over [`Dist`] values.
 ///
@@ -21,7 +21,9 @@ use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
 pub enum AggOp {
     /// Minimum; identity ∞.
     Min,
-    /// Maximum (of finite values); identity 0.
+    /// Maximum of the *finite* values; identity 0. Infinite inputs are
+    /// ignored rather than absorbing the aggregate, so the result of
+    /// all-∞ inputs is the identity 0.
     Max,
     /// Saturating sum; identity 0.
     Sum,
@@ -38,7 +40,18 @@ impl AggOp {
     fn fold(self, a: Dist, b: Dist) -> Dist {
         match self {
             AggOp::Min => a.min(b),
-            AggOp::Max => a.max(b),
+            // "Maximum of finite values": an ∞ operand is the absence of
+            // a value, not a value larger than every other — folding it
+            // in must not turn the whole aggregate infinite.
+            AggOp::Max => {
+                if !b.is_finite() {
+                    a
+                } else if !a.is_finite() {
+                    b
+                } else {
+                    a.max(b)
+                }
+            }
             AggOp::Sum => a + b,
         }
     }
@@ -50,49 +63,69 @@ enum AggMsg {
     Down(Dist),
 }
 
-struct Aggregate<'t> {
+/// Read-only state every node consults: the tree and the operator.
+struct AggShared<'t> {
     tree: &'t BfsTree,
     op: AggOp,
-    acc: Vec<Dist>,
-    waiting: Vec<usize>,
-    sent_up: Vec<bool>,
-    sent_down: Vec<bool>,
-    result: Vec<Option<Dist>>,
 }
 
-impl Protocol for Aggregate<'_> {
-    type Msg = AggMsg;
+/// One node's convergecast/downcast state (sharded: the engine steps
+/// disjoint slices of these from worker threads).
+struct AggNode {
+    acc: Dist,
+    waiting: usize,
+    sent_up: bool,
+    sent_down: bool,
+    result: Option<Dist>,
+}
 
-    fn msg_bits(&self, m: &AggMsg) -> u64 {
+struct Aggregate<'t> {
+    shared: AggShared<'t>,
+    nodes: Vec<AggNode>,
+}
+
+impl<'t> ShardedProtocol for Aggregate<'t> {
+    type Msg = AggMsg;
+    type Node = AggNode;
+    type Shared = AggShared<'t>;
+
+    fn msg_bits(_: &Self::Shared, m: &AggMsg) -> u64 {
         let d = match m {
             AggMsg::Up(d) | AggMsg::Down(d) => *d,
         };
         2 + word_bits(d.finite().unwrap_or(0))
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, AggMsg>) {
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut AggNode, ctx: &mut NodeCtx<'_, AggMsg>) {
         let v = ctx.node;
         for &(_, msg) in ctx.inbox() {
             match msg {
                 AggMsg::Up(d) => {
-                    self.acc[v] = self.op.fold(self.acc[v], d);
-                    self.waiting[v] -= 1;
+                    node.acc = shared.op.fold(node.acc, d);
+                    node.waiting -= 1;
                 }
-                AggMsg::Down(d) => self.result[v] = Some(d),
+                AggMsg::Down(d) => node.result = Some(d),
             }
         }
-        if self.waiting[v] == 0 && !self.sent_up[v] {
-            self.sent_up[v] = true;
-            match self.tree.parent_port[v] {
-                Some(pp) => ctx.send(pp, AggMsg::Up(self.acc[v])),
-                None => self.result[v] = Some(self.acc[v]),
+        if node.waiting == 0 && !node.sent_up {
+            node.sent_up = true;
+            match shared.tree.parent_port[v] {
+                Some(pp) => ctx.send(pp, AggMsg::Up(node.acc)),
+                None => node.result = Some(node.acc),
             }
         }
-        if let Some(d) = self.result[v] {
-            if !self.sent_down[v] {
-                self.sent_down[v] = true;
-                let ports = self.tree.child_ports[v].clone();
-                for cp in ports {
+        if let Some(d) = node.result {
+            if !node.sent_down {
+                node.sent_down = true;
+                for &cp in &shared.tree.child_ports[v] {
                     ctx.send(cp, AggMsg::Down(d));
                 }
             }
@@ -100,7 +133,7 @@ impl Protocol for Aggregate<'_> {
     }
 
     fn idle(&self) -> bool {
-        self.result.iter().all(|r| r.is_some())
+        self.nodes.iter().all(|nd| nd.result.is_some())
     }
 
     // Leaves fire in round 0 (stepped by the activation base case);
@@ -115,27 +148,34 @@ impl Protocol for Aggregate<'_> {
 /// Aggregates `values` with `op` over `tree`; every node learns the
 /// result. `O(height)` rounds, charged to `net`.
 ///
+/// Runs on the sharded-parallel engine path; the result and stats are
+/// bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if `values.len() != n` or the protocol fails to quiesce within
-/// `8·(height + 2)` rounds (a tree inconsistency).
+/// `8·(height + 2)` rounds (a tree inconsistency — [`BfsTree`] values
+/// from a successful [`crate::bfs_tree::build_bfs_tree`] always span).
 pub fn aggregate(net: &mut Network<'_>, tree: &BfsTree, op: AggOp, values: &[Dist]) -> Dist {
     let n = net.node_count();
     assert_eq!(values.len(), n);
-    let waiting: Vec<usize> = (0..n).map(|v| tree.child_ports[v].len()).collect();
-    let acc: Vec<Dist> = values.iter().map(|&v| op.fold(op.identity(), v)).collect();
     let mut proto = Aggregate {
-        tree,
-        op,
-        acc,
-        waiting,
-        sent_up: vec![false; n],
-        sent_down: vec![false; n],
-        result: vec![None; n],
+        shared: AggShared { tree, op },
+        nodes: (0..n)
+            .map(|v| AggNode {
+                acc: op.fold(op.identity(), values[v]),
+                waiting: tree.child_ports[v].len(),
+                sent_up: false,
+                sent_down: false,
+                result: None,
+            })
+            .collect(),
     };
-    net.run_until_quiet("aggregate", &mut proto, 8 * (tree.height + 2))
+    net.run_until_quiet_par("aggregate", &mut proto, 8 * (tree.height + 2))
         .expect("aggregation quiesces in O(height)");
-    proto.result[tree.root].expect("root folded the result")
+    proto.nodes[tree.root]
+        .result
+        .expect("root folded the result")
 }
 
 #[cfg(test)]
@@ -159,7 +199,7 @@ mod tests {
             (AggOp::Sum, values.iter().copied().sum()),
         ] {
             let mut net = Network::new(&g);
-            let (tree, _) = build_bfs_tree(&mut net, 0);
+            let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
             assert_eq!(aggregate(&mut net, &tree, op, &values), expect, "{op:?}");
         }
     }
@@ -170,11 +210,36 @@ mod tests {
         let mut values = vec![Dist::INF; 20];
         values[13] = Dist::new(7);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 4);
+        let (tree, _) = build_bfs_tree(&mut net, 4).unwrap();
         assert_eq!(
             aggregate(&mut net, &tree, AggOp::Min, &values),
             Dist::new(7)
         );
+    }
+
+    #[test]
+    fn max_ignores_infinite_inputs() {
+        // Regression: a single ∞ input used to absorb the whole Max
+        // aggregate; "maximum of finite values" must skip it.
+        let (g, _) = setup(20, 6);
+        let mut values: Vec<Dist> = (0..20).map(|v| Dist::new(v as u64)).collect();
+        values[4] = Dist::INF;
+        values[17] = Dist::INF;
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 2).unwrap();
+        assert_eq!(
+            aggregate(&mut net, &tree, AggOp::Max, &values),
+            Dist::new(19)
+        );
+    }
+
+    #[test]
+    fn max_of_all_infinite_is_the_identity() {
+        let (g, _) = setup(12, 8);
+        let values = vec![Dist::INF; 12];
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
+        assert_eq!(aggregate(&mut net, &tree, AggOp::Max, &values), Dist::ZERO);
     }
 
     #[test]
@@ -183,7 +248,7 @@ mod tests {
         let mut values = vec![Dist::new(1); 10];
         values[3] = Dist::INF;
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         assert_eq!(aggregate(&mut net, &tree, AggOp::Sum, &values), Dist::INF);
     }
 
@@ -191,7 +256,7 @@ mod tests {
     fn rounds_bounded_by_tree_height() {
         let (g, values) = setup(80, 9);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let before = net.metrics().rounds();
         let _ = aggregate(&mut net, &tree, AggOp::Min, &values);
         let used = net.metrics().rounds() - before;
@@ -206,7 +271,7 @@ mod tests {
     fn single_node_tree() {
         let g = graphkit::GraphBuilder::new(1).build();
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         assert_eq!(
             aggregate(&mut net, &tree, AggOp::Max, &[Dist::new(9)]),
             Dist::new(9)

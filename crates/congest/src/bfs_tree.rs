@@ -3,11 +3,19 @@
 //! Nearly every global primitive in the paper (Lemma 2.4 broadcast, the
 //! `O(D)`-round aggregations) runs on a BFS tree rooted anywhere; its
 //! depth is at most the root's undirected eccentricity, hence at most `D`.
+//!
+//! Construction can *fail*: a partitioned communication graph leaves some
+//! nodes outside the root's component, which [`build_bfs_tree`] reports
+//! as the recoverable [`TreeError::Disconnected`] instead of aborting —
+//! failure-scenario callers (network partitions) match on it and degrade
+//! gracefully.
+
+use std::fmt;
 
 use graphkit::NodeId;
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
-use crate::RunStats;
+use crate::network::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
+use crate::{EngineError, RunStats};
 
 /// The result of distributed BFS-tree construction.
 #[derive(Clone, Debug)]
@@ -26,6 +34,50 @@ pub struct BfsTree {
     pub height: u64,
 }
 
+/// Why BFS-tree construction could not produce a spanning tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The communication graph is disconnected: only `joined` of `total`
+    /// nodes are in the root's component. `witness` is the smallest
+    /// unreachable node id.
+    Disconnected {
+        /// Nodes that joined the tree.
+        joined: usize,
+        /// Nodes in the network.
+        total: usize,
+        /// The smallest node id the flood never reached.
+        witness: NodeId,
+    },
+    /// The flood failed to quiesce within its round budget (an engine or
+    /// protocol invariant violation, not a topology property).
+    Engine(EngineError),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Disconnected {
+                joined,
+                total,
+                witness,
+            } => write!(
+                f,
+                "communication graph is disconnected: BFS tree reached {joined} of \
+                 {total} nodes (node {witness} is unreachable)"
+            ),
+            TreeError::Engine(e) => write!(f, "BFS tree flood did not quiesce: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<EngineError> for TreeError {
+    fn from(e: EngineError) -> TreeError {
+        TreeError::Engine(e)
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 enum TreeMsg {
     /// "I am at depth d; join me."
@@ -34,43 +86,64 @@ enum TreeMsg {
     Adopt,
 }
 
-struct TreeProtocol {
+/// Read-only state every node consults: the root id.
+struct TreeShared {
     root: NodeId,
-    depth: Vec<Option<u64>>,
-    parent_port: Vec<Option<u32>>,
-    child_ports: Vec<Vec<u32>>,
 }
 
-impl Protocol for TreeProtocol {
-    type Msg = TreeMsg;
+/// One node's construction state (sharded: the engine steps disjoint
+/// slices of these from worker threads).
+#[derive(Clone)]
+struct TreeNode {
+    depth: Option<u64>,
+    parent_port: Option<u32>,
+    child_ports: Vec<u32>,
+}
 
-    fn msg_bits(&self, msg: &TreeMsg) -> u64 {
+struct TreeProtocol {
+    shared: TreeShared,
+    nodes: Vec<TreeNode>,
+}
+
+impl ShardedProtocol for TreeProtocol {
+    type Msg = TreeMsg;
+    type Node = TreeNode;
+    type Shared = TreeShared;
+
+    fn msg_bits(_: &TreeShared, msg: &TreeMsg) -> u64 {
         match msg {
             TreeMsg::Join { depth } => 1 + word_bits(*depth),
             TreeMsg::Adopt => 1,
         }
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, TreeMsg>) {
+    fn shared(&self) -> &TreeShared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&TreeShared, &mut [TreeNode]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &TreeShared, node: &mut TreeNode, ctx: &mut NodeCtx<'_, TreeMsg>) {
         let v = ctx.node;
         // Record adoption replies.
-        for i in 0..ctx.inbox().len() {
-            let (port, msg) = ctx.inbox()[i];
+        for &(port, msg) in ctx.inbox() {
             if matches!(msg, TreeMsg::Adopt) {
-                self.child_ports[v].push(port);
+                node.child_ports.push(port);
             }
         }
-        let newly_joined = if ctx.round == 0 && v == self.root {
-            self.depth[v] = Some(0);
+        let newly_joined = if ctx.round == 0 && v == shared.root {
+            node.depth = Some(0);
             true
-        } else if self.depth[v].is_none() {
+        } else if node.depth.is_none() {
             if let Some(&(port, TreeMsg::Join { depth })) = ctx
                 .inbox()
                 .iter()
                 .find(|(_, m)| matches!(m, TreeMsg::Join { .. }))
             {
-                self.depth[v] = Some(depth + 1);
-                self.parent_port[v] = Some(port);
+                node.depth = Some(depth + 1);
+                node.parent_port = Some(port);
                 true
             } else {
                 false
@@ -79,12 +152,12 @@ impl Protocol for TreeProtocol {
             false
         };
         if newly_joined {
-            let my_depth = self.depth[v].expect("just set");
-            if let Some(pp) = self.parent_port[v] {
+            let my_depth = node.depth.expect("just set");
+            if let Some(pp) = node.parent_port {
                 ctx.send(pp, TreeMsg::Adopt);
             }
             for p in 0..ctx.ports().len() as u32 {
-                if Some(p) != self.parent_port[v] {
+                if Some(p) != node.parent_port {
                     ctx.send(p, TreeMsg::Join { depth: my_depth });
                 }
             }
@@ -101,46 +174,80 @@ impl Protocol for TreeProtocol {
 /// Builds a BFS tree rooted at `root`, charging the rounds it takes
 /// (at most `ecc(root) + O(1)`).
 ///
-/// # Panics
+/// Runs on the sharded-parallel engine path; the tree and [`RunStats`]
+/// are bit-identical at every thread count.
 ///
-/// Panics if the communication graph is disconnected (some node never
-/// joins within `2n + 4` rounds).
-pub fn build_bfs_tree(net: &mut Network<'_>, root: NodeId) -> (BfsTree, RunStats) {
+/// # Errors
+///
+/// Returns [`TreeError::Disconnected`] when some node is not in the
+/// root's component of the communication graph — the tree would not
+/// span, so downstream broadcasts/aggregations could not terminate.
+/// Partition-tolerant callers match on this instead of aborting.
+pub fn build_bfs_tree(
+    net: &mut Network<'_>,
+    root: NodeId,
+) -> Result<(BfsTree, RunStats), TreeError> {
     let n = net.node_count();
     let mut proto = TreeProtocol {
-        root,
-        depth: vec![None; n],
-        parent_port: vec![None; n],
-        child_ports: vec![Vec::new(); n],
+        shared: TreeShared { root },
+        nodes: vec![
+            TreeNode {
+                depth: None,
+                parent_port: None,
+                child_ports: Vec::new(),
+            };
+            n
+        ],
     };
-    let stats = net
-        .run_until_quiet("bfs-tree", &mut proto, 2 * n as u64 + 4)
-        .expect("BFS tree floods quiesce within 2n rounds");
-    let depth: Vec<u64> = proto
-        .depth
-        .iter()
-        .enumerate()
-        .map(|(v, d)| {
-            d.unwrap_or_else(|| {
-                panic!("node {v} unreachable: communication graph must be connected")
-            })
-        })
-        .collect();
+    let stats = net.run_until_quiet_par("bfs-tree", &mut proto, 2 * n as u64 + 4)?;
+    let mut depth = Vec::with_capacity(n);
+    let mut joined = 0usize;
+    let mut witness = None;
+    for (v, node) in proto.nodes.iter().enumerate() {
+        match node.depth {
+            Some(d) => {
+                joined += 1;
+                depth.push(d);
+            }
+            None => {
+                if witness.is_none() {
+                    witness = Some(v);
+                }
+                depth.push(0);
+            }
+        }
+    }
+    if let Some(witness) = witness {
+        return Err(TreeError::Disconnected {
+            joined,
+            total: n,
+            witness,
+        });
+    }
     let height = depth.iter().copied().max().unwrap_or(0);
     let parent = (0..n)
-        .map(|v| proto.parent_port[v].map(|p| net.ports(v)[p as usize].peer))
+        .map(|v| {
+            proto.nodes[v]
+                .parent_port
+                .map(|p| net.ports(v)[p as usize].peer)
+        })
         .collect();
-    (
+    let (parent_port, child_ports) = proto
+        .nodes
+        .into_iter()
+        .map(|nd| (nd.parent_port, nd.child_ports))
+        .unzip();
+    Ok((
         BfsTree {
             root,
-            parent_port: proto.parent_port,
+            parent_port,
             parent,
-            child_ports: proto.child_ports,
+            child_ports,
             depth,
             height,
         },
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -157,7 +264,7 @@ mod tests {
         }
         let g = b.build();
         let mut net = Network::new(&g);
-        let (tree, stats) = build_bfs_tree(&mut net, 2);
+        let (tree, stats) = build_bfs_tree(&mut net, 2).unwrap();
         assert_eq!(tree.depth, vec![2, 1, 0, 1, 2]);
         assert_eq!(tree.height, 2);
         assert_eq!(tree.parent[2], None);
@@ -170,7 +277,7 @@ mod tests {
     fn children_are_symmetric_to_parents() {
         let g = random_digraph(40, 80, 5);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         for v in 0..40 {
             for &cp in &tree.child_ports[v] {
                 let child = net.ports(v)[cp as usize].peer;
@@ -187,7 +294,7 @@ mod tests {
     fn depth_is_undirected_distance() {
         let g = random_digraph(30, 40, 9);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 7);
+        let (tree, _) = build_bfs_tree(&mut net, 7).unwrap();
         // Verify against a centralized undirected BFS.
         let mut dist = vec![usize::MAX; 30];
         let mut queue = std::collections::VecDeque::new();
@@ -210,7 +317,7 @@ mod tests {
     fn rounds_bounded_by_height() {
         let g = random_digraph(60, 150, 3);
         let mut net = Network::new(&g);
-        let (tree, stats) = build_bfs_tree(&mut net, 0);
+        let (tree, stats) = build_bfs_tree(&mut net, 0).unwrap();
         // Joins finish at round height; adopts and quiescence detection
         // add a constant.
         assert!(
@@ -219,5 +326,55 @@ mod tests {
             stats.rounds,
             tree.height
         );
+    }
+
+    #[test]
+    fn disconnection_is_a_recoverable_error() {
+        // Two components: 0-1-2 and 3-4. The flood from 0 reaches three
+        // nodes; construction must report the partition, not panic.
+        let mut b = GraphBuilder::new(5);
+        b.add_arc(0, 1);
+        b.add_arc(1, 2);
+        b.add_arc(3, 4);
+        let g = b.build();
+        let mut net = Network::new(&g);
+        let err = build_bfs_tree(&mut net, 0).unwrap_err();
+        assert_eq!(
+            err,
+            TreeError::Disconnected {
+                joined: 3,
+                total: 5,
+                witness: 3
+            }
+        );
+        // The network stays usable: a root inside the other component
+        // sees the mirror-image partition.
+        let err = build_bfs_tree(&mut net, 3).unwrap_err();
+        assert_eq!(
+            err,
+            TreeError::Disconnected {
+                joined: 2,
+                total: 5,
+                witness: 0
+            }
+        );
+    }
+
+    #[test]
+    fn isolated_node_is_reported() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1);
+        let g = b.build();
+        let mut net = Network::new(&g);
+        match build_bfs_tree(&mut net, 0) {
+            Err(TreeError::Disconnected {
+                joined,
+                total,
+                witness,
+            }) => {
+                assert_eq!((joined, total, witness), (2, 3, 2));
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 }

@@ -179,7 +179,7 @@ mod tests {
     fn everyone_gets_everything_in_same_order() {
         let g = random_digraph(30, 60, 2);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let items: Vec<Vec<u64>> = (0..30).map(|v| vec![v as u64, 100 + v as u64]).collect();
         let (out, _) = broadcast(&mut net, &tree, items, |_| 16, "bcast");
         assert_eq!(out[0].len(), 60);
@@ -196,7 +196,7 @@ mod tests {
     fn rounds_linear_in_items_plus_depth() {
         let g = random_digraph(64, 128, 7);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let m = 50usize;
         let items: Vec<Vec<u64>> = (0..64)
             .map(|v| if v < m { vec![v as u64] } else { vec![] })
@@ -214,7 +214,7 @@ mod tests {
     fn empty_broadcast_is_cheap() {
         let g = random_digraph(20, 30, 1);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let (out, stats) = broadcast(&mut net, &tree, vec![vec![]; 20], |_: &u64| 8, "bcast");
         assert!(out.iter().all(|o| o.is_empty()));
         assert!(stats.rounds <= 2);
@@ -224,7 +224,7 @@ mod tests {
     fn single_origin_many_items() {
         let g = random_digraph(25, 50, 3);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 5);
+        let (tree, _) = build_bfs_tree(&mut net, 5).unwrap();
         let mut items: Vec<Vec<u64>> = vec![vec![]; 25];
         items[13] = (0..40).collect();
         let (out, _) = broadcast(&mut net, &tree, items, |_| 16, "bcast");

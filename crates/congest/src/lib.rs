@@ -68,9 +68,17 @@
 //! every [`RunStats`] field are bit-identical between `ActiveSet` and
 //! `FullSweep` runs and across all thread counts and shard geometries;
 //! the differential suite in `tests/engine_equivalence.rs` asserts this
-//! for every primitive and an end-to-end solver, and a property test
+//! for every primitive and every end-to-end solver, and a property test
 //! randomizes shard boundaries. Table 1 numbers depend only on the
 //! model, never on the schedule or the hardware.
+//!
+//! **Coverage:** every protocol shipped by this crate — BFS-tree
+//! construction, broadcast, aggregation, multi-source BFS, and both
+//! pipelines — implements [`ShardedProtocol`] and is driven through the
+//! sharded-parallel entry points; there is no sequential-only protocol
+//! left. New protocols should implement [`ShardedProtocol`] directly
+//! (the blanket [`Protocol`] impl keeps them runnable on the sequential
+//! engine and in differential tests for free).
 //!
 //! # Communication primitives
 //! - [`bfs_tree`]: distributed BFS tree over the underlying undirected

@@ -42,7 +42,7 @@ impl fmt::Display for RunStats {
 }
 
 /// A named phase in an algorithm's metric log.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseStats {
     /// Human-readable phase label (e.g. `"hop-bfs"`).
     pub name: String,
@@ -51,7 +51,7 @@ pub struct PhaseStats {
 }
 
 /// Cumulative metrics for a [`crate::Network`] across all phases.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Aggregate over all phases.
     pub total: RunStats,
@@ -72,6 +72,19 @@ impl Metrics {
     /// Total rounds across all phases.
     pub fn rounds(&self) -> u64 {
         self.total.rounds
+    }
+
+    /// Appends every phase of `other` onto this log by draining it,
+    /// preserving execution order and leaving `other` empty.
+    ///
+    /// This is the by-reference way to merge the accounting of two runs
+    /// (e.g. a sub-solver's network into an outer solver's metrics):
+    /// phase names move instead of being cloned, so merging costs
+    /// `O(phases)` pointer moves rather than a deep copy of every name.
+    pub fn merge_from(&mut self, other: &mut Metrics) {
+        self.total.absorb(&other.total);
+        other.total = RunStats::default();
+        self.phases.append(&mut other.phases);
     }
 
     /// Looks up the accumulated stats of all phases whose name contains
@@ -123,6 +136,49 @@ mod tests {
         assert_eq!(a.bits, 109);
         assert_eq!(a.cut_bits, 5);
         assert_eq!(a.max_message_bits, 30);
+    }
+
+    #[test]
+    fn merge_from_drains_phases_in_order() {
+        let mut outer = Metrics::default();
+        outer.record(
+            "a",
+            RunStats {
+                rounds: 1,
+                messages: 2,
+                ..Default::default()
+            },
+        );
+        let mut inner = Metrics::default();
+        inner.record(
+            "b",
+            RunStats {
+                rounds: 3,
+                max_message_bits: 9,
+                ..Default::default()
+            },
+        );
+        inner.record(
+            "c",
+            RunStats {
+                rounds: 4,
+                ..Default::default()
+            },
+        );
+        outer.merge_from(&mut inner);
+        assert_eq!(outer.rounds(), 8);
+        assert_eq!(outer.total.messages, 2);
+        assert_eq!(outer.total.max_message_bits, 9);
+        assert_eq!(
+            outer
+                .phases
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert!(inner.phases.is_empty());
+        assert_eq!(inner.total, RunStats::default());
     }
 
     #[test]

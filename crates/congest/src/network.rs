@@ -561,6 +561,16 @@ impl<'g> Network<'g> {
         &self.metrics
     }
 
+    /// Moves the accumulated metrics out of the network, leaving an
+    /// empty log behind.
+    ///
+    /// Solvers that own their network use this to hand the accounting to
+    /// their output without deep-cloning every phase record; combine
+    /// multiple runs with [`Metrics::merge_from`].
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
     /// Records a phase executed outside the engine (e.g. a fixed number of
     /// idle alignment rounds). Use sparingly; prefer real protocols.
     pub fn charge(&mut self, name: &str, stats: RunStats) {

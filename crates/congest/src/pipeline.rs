@@ -16,7 +16,7 @@
 
 use graphkit::{Dist, EdgeId, NodeId};
 
-use crate::network::{word_bits, Network, NodeCtx, Protocol, Scheduling};
+use crate::network::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
 use crate::RunStats;
 
 fn dist_bits(d: Dist) -> u64 {
@@ -87,26 +87,47 @@ impl Lane {
 // Systolic diagonal DP (Lemma 4.4).
 // ---------------------------------------------------------------------
 
-struct DiagonalDp<'a> {
-    lane: &'a Lane,
+/// Read-only lane geometry and the step-input function.
+struct DpShared<'a> {
     /// position of each node on the lane, usize::MAX if absent
     pos_of: Vec<usize>,
     send_ports: Vec<u32>,
-    cur: Vec<Dist>,
-    input: &'a dyn Fn(usize, u64) -> Dist,
+    input: &'a (dyn Fn(usize, u64) -> Dist + Sync),
     rounds: u64,
+    lane_len: usize,
 }
 
-impl Protocol for DiagonalDp<'_> {
-    type Msg = Dist;
+/// One node's running DP value (sharded: the engine steps disjoint
+/// slices of these from worker threads).
+#[derive(Clone, Copy)]
+struct DpNode {
+    cur: Dist,
+}
 
-    fn msg_bits(&self, msg: &Dist) -> u64 {
+struct DiagonalDp<'a> {
+    shared: DpShared<'a>,
+    nodes: Vec<DpNode>,
+}
+
+impl<'a> ShardedProtocol for DiagonalDp<'a> {
+    type Msg = Dist;
+    type Node = DpNode;
+    type Shared = DpShared<'a>;
+
+    fn msg_bits(_: &Self::Shared, msg: &Dist) -> u64 {
         dist_bits(*msg)
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Dist>) {
-        let v = ctx.node;
-        let pos = self.pos_of[v];
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut DpNode, ctx: &mut NodeCtx<'_, Dist>) {
+        let pos = shared.pos_of[ctx.node];
         if pos == usize::MAX {
             return;
         }
@@ -114,22 +135,22 @@ impl Protocol for DiagonalDp<'_> {
         // (position 0 never receives anything): every lane vertex stays
         // armed until the last fold step. Off-lane nodes fall out of the
         // active set after round 0.
-        if ctx.round < self.rounds {
+        if ctx.round < shared.rounds {
             ctx.wake();
         }
         // Step r: fold the predecessor's value (sent in round r-1) and the
         // local term for step r, then forward.
         if ctx.round > 0 {
             let step = ctx.round;
-            if step > self.rounds {
+            if step > shared.rounds {
                 return;
             }
             let received = ctx.inbox().first().map(|&(_, d)| d).unwrap_or(Dist::INF);
-            let local = (self.input)(pos, step);
-            self.cur[pos] = if pos == 0 { local } else { received.min(local) };
+            let local = (shared.input)(pos, step);
+            node.cur = if pos == 0 { local } else { received.min(local) };
         }
-        if ctx.round < self.rounds && pos + 1 < self.lane.nodes.len() {
-            ctx.send(self.send_ports[pos], self.cur[pos]);
+        if ctx.round < shared.rounds && pos + 1 < shared.lane_len {
+            ctx.send(shared.send_ports[pos], node.cur);
         }
     }
 
@@ -149,11 +170,14 @@ impl Protocol for DiagonalDp<'_> {
 ///
 /// Every link carries exactly one message per round, so the protocol
 /// takes exactly `rounds + 1` engine rounds. Returns the final `cur`.
+///
+/// Runs on the sharded-parallel engine path; results and stats are
+/// bit-identical at every thread count.
 pub fn diagonal_dp(
     net: &mut Network<'_>,
     lane: &Lane,
     init: impl Fn(usize) -> Dist,
-    input: &dyn Fn(usize, u64) -> Dist,
+    input: &(dyn Fn(usize, u64) -> Dist + Sync),
     rounds: u64,
     phase: &str,
 ) -> (Vec<Dist>, RunStats) {
@@ -166,17 +190,23 @@ pub fn diagonal_dp(
     let send_ports: Vec<u32> = (0..lane.links.len())
         .map(|i| lane.send_port(net, i))
         .collect();
-    let cur: Vec<Dist> = (0..lane.nodes.len()).map(&init).collect();
+    let mut nodes = vec![DpNode { cur: Dist::INF }; n];
+    for (i, &v) in lane.nodes.iter().enumerate() {
+        nodes[v].cur = init(i);
+    }
     let mut proto = DiagonalDp {
-        lane,
-        pos_of,
-        send_ports,
-        cur,
-        input: &input,
-        rounds,
+        shared: DpShared {
+            pos_of,
+            send_ports,
+            input,
+            rounds,
+            lane_len: lane.nodes.len(),
+        },
+        nodes,
     };
-    let stats = net.run_rounds(phase, &mut proto, rounds + 1);
-    (proto.cur, stats)
+    let stats = net.run_rounds_par(phase, &mut proto, rounds + 1);
+    let cur = lane.nodes.iter().map(|&v| proto.nodes[v].cur).collect();
+    (cur, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -202,38 +232,60 @@ struct Placement {
     send_port: u32,
 }
 
-struct PrefixSweep<'a> {
+/// Read-only sweep geometry and the per-cell input function.
+struct SweepShared<'a> {
     jobs: usize,
     /// Each node may sit on several lanes (checkpoints join segments).
     placements: Vec<Vec<Placement>>,
-    /// received[lane][pos][job]: value arriving from the predecessor.
-    received: Vec<Vec<Vec<Dist>>>,
-    input: &'a dyn Fn(usize, usize, usize) -> Dist,
+    input: &'a (dyn Fn(usize, usize, usize) -> Dist + Sync),
 }
 
-impl Protocol for PrefixSweep<'_> {
-    type Msg = SweepMsg;
+/// One node's sweep state (sharded: the engine steps disjoint slices of
+/// these from worker threads).
+struct SweepNode {
+    /// received[placement][job]: value arriving from that lane's
+    /// predecessor.
+    received: Vec<Vec<Dist>>,
+}
 
-    fn msg_bits(&self, msg: &SweepMsg) -> u64 {
+struct PrefixSweep<'a> {
+    shared: SweepShared<'a>,
+    nodes: Vec<SweepNode>,
+}
+
+impl<'a> ShardedProtocol for PrefixSweep<'a> {
+    type Msg = SweepMsg;
+    type Node = SweepNode;
+    type Shared = SweepShared<'a>;
+
+    fn msg_bits(_: &Self::Shared, msg: &SweepMsg) -> u64 {
         word_bits(msg.job as u64) + dist_bits(msg.dist)
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, SweepMsg>) {
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut SweepNode, ctx: &mut NodeCtx<'_, SweepMsg>) {
         let v = ctx.node;
-        if self.placements[v].is_empty() {
+        let placements = &shared.placements[v];
+        if placements.is_empty() {
             return;
         }
         for &(port, msg) in ctx.inbox() {
-            let pl = self.placements[v]
+            let pi = placements
                 .iter()
-                .find(|pl| pl.recv_port == port)
+                .position(|pl| pl.recv_port == port)
                 .expect("sweep message arrived on a non-lane port");
-            self.received[pl.lane as usize][pl.pos as usize][msg.job as usize] = msg.dist;
+            node.received[pi][msg.job as usize] = msg.dist;
         }
         // Job j leaves position p at round j + p.
         let r = ctx.round;
-        for i in 0..self.placements[v].len() {
-            let pl = self.placements[v][i];
+        for (pi, pl) in placements.iter().enumerate() {
             let (lane_idx, pos) = (pl.lane as usize, pl.pos as usize);
             if pl.send_port == u32::MAX {
                 continue;
@@ -241,17 +293,17 @@ impl Protocol for PrefixSweep<'_> {
             // The staggered schedule is round-driven (job j departs at
             // round j + pos whether or not anything arrived), so the
             // node re-arms itself until its last departure round.
-            if self.jobs > 0 && r < pos as u64 + self.jobs as u64 - 1 {
+            if shared.jobs > 0 && r < pos as u64 + shared.jobs as u64 - 1 {
                 ctx.wake();
             }
             if r < pos as u64 {
                 continue;
             }
             let job = (r - pos as u64) as usize;
-            if job >= self.jobs {
+            if job >= shared.jobs {
                 continue;
             }
-            let acc = self.received[lane_idx][pos][job].min((self.input)(lane_idx, pos, job));
+            let acc = node.received[pi][job].min((shared.input)(lane_idx, pos, job));
             if acc.is_finite() {
                 ctx.send(
                     pl.send_port,
@@ -284,6 +336,9 @@ impl Protocol for PrefixSweep<'_> {
 /// Takes exactly `jobs + max_lane_len` engine rounds — the `O(|I| + J)`
 /// pipelining cost of Lemma 5.7.
 ///
+/// Runs on the sharded-parallel engine path; results and stats are
+/// bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if two lanes share a link (that would violate the CONGEST
@@ -292,7 +347,7 @@ pub fn prefix_sweep(
     net: &mut Network<'_>,
     lanes: &[Lane],
     jobs: usize,
-    input: &dyn Fn(usize, usize, usize) -> Dist,
+    input: &(dyn Fn(usize, usize, usize) -> Dist + Sync),
     phase: &str,
 ) -> (Vec<Vec<Vec<Dist>>>, RunStats) {
     let n = net.node_count();
@@ -327,21 +382,35 @@ pub fn prefix_sweep(
             });
         }
     }
-    let received: Vec<Vec<Vec<Dist>>> = lanes
+    let nodes: Vec<SweepNode> = placements
         .iter()
-        .map(|lane| vec![vec![Dist::INF; jobs]; lane.nodes.len()])
+        .map(|pls| SweepNode {
+            received: vec![vec![Dist::INF; jobs]; pls.len()],
+        })
         .collect();
     let max_len = lanes.iter().map(|l| l.nodes.len()).max().unwrap_or(0) as u64;
     let total_rounds = jobs as u64 + max_len;
     let mut proto = PrefixSweep {
-        jobs,
-        placements,
-        received,
-        input: &input,
+        shared: SweepShared {
+            jobs,
+            placements,
+            input,
+        },
+        nodes,
     };
-    let stats = net.run_rounds(phase, &mut proto, total_rounds);
-    // Finalize locally: fold each position's own input into what arrived.
-    let mut out = proto.received;
+    let stats = net.run_rounds_par(phase, &mut proto, total_rounds);
+    // Reassemble the per-lane tables from the per-node state, then
+    // finalize locally: fold each position's own input into what arrived.
+    let mut out: Vec<Vec<Vec<Dist>>> = lanes
+        .iter()
+        .map(|lane| vec![vec![Dist::INF; jobs]; lane.nodes.len()])
+        .collect();
+    let PrefixSweep { shared, nodes } = proto;
+    for (pls, node) in shared.placements.iter().zip(nodes) {
+        for (pl, row) in pls.iter().zip(node.received) {
+            out[pl.lane as usize][pl.pos as usize] = row;
+        }
+    }
     for (li, lane) in lanes.iter().enumerate() {
         for pos in 0..lane.nodes.len() {
             for job in 0..jobs {

@@ -26,7 +26,7 @@ use graphkit::Dist;
 use crate::long::dists::min_plus_closure;
 use crate::long::landmarks;
 use crate::short::combine::pipeline_dp;
-use crate::{Instance, Params, RPathsOutput};
+use crate::{Instance, Params, RPathsOutput, SolveError};
 
 /// MR24's threshold: `ζ' = max(ζ, ⌈√(n·h_st)⌉)`.
 pub fn mr_zeta(n: usize, h: usize, zeta: usize) -> usize {
@@ -35,13 +35,37 @@ pub fn mr_zeta(n: usize, h: usize, zeta: usize) -> usize {
 
 /// Runs the MR24 algorithm. Exact w.h.p.;
 /// `eO(n^{2/3} + √(n·h_st) + D)` rounds.
-pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
+    let mut net = Network::new(inst.graph);
+    let replacement = solve_on(&mut net, inst, params)?;
+    Ok(RPathsOutput {
+        replacement,
+        metrics: net.take_metrics(),
+    })
+}
+
+/// Like [`solve`], but on a caller-provided network; metrics accumulate
+/// on `net`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_on(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+) -> Result<Vec<Dist>, SolveError> {
     assert!(inst.graph.is_unweighted(), "mr24 baseline is unweighted");
     let n = inst.n();
     let h = inst.hops();
     let zeta = mr_zeta(n, h, params.zeta);
-    let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s());
+    let (tree, _) = build_bfs_tree(net, inst.s())?;
 
     // MR24's initial-knowledge assumption: everyone learns the vertex
     // sequence of P (an O(h_st + D) broadcast).
@@ -50,7 +74,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
         id_items[v].push((i as u32, v as u32));
     }
     let _ = broadcast(
-        &mut net,
+        net,
         &tree,
         id_items,
         |&(i, v)| word_bits(i as u64) + word_bits(v as u64),
@@ -65,7 +89,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
         delays: None,
     };
     let (to_path, _) = multi_source_bfs(
-        &mut net,
+        net,
         &cfg,
         |e| inst.in_g_minus_p(e),
         "mr24/path-bfs",
@@ -89,7 +113,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
             out
         })
         .collect();
-    let short_ans = pipeline_dp(&mut net, inst, &x_ge, zeta.max(1));
+    let short_ans = pipeline_dp(net, inst, &x_ge, zeta.max(1));
 
     // --- Long detours: landmarks, with the fat broadcast. ---
     let mut lparams = params.clone();
@@ -116,7 +140,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
             delays: None,
         };
         let (fwd, _) = multi_source_bfs(
-            &mut net,
+            net,
             &fwd_cfg,
             |e| inst.in_g_minus_p(e),
             "mr24/landmark-bfs-fwd",
@@ -130,7 +154,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
             delays: None,
         };
         let (bwd, _) = multi_source_bfs(
-            &mut net,
+            net,
             &bwd_cfg,
             |e| inst.in_g_minus_p(e),
             "mr24/landmark-bfs-bwd",
@@ -170,7 +194,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
                 }
             }
         }
-        let (streams, _) = broadcast(&mut net, &tree, items, bits, "mr24/fat-broadcast");
+        let (streams, _) = broadcast(net, &tree, items, bits, "mr24/fat-broadcast");
         let stream = &streams[inst.s()];
 
         // Everything below is local at every vertex.
@@ -233,15 +257,11 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
             .collect()
     };
 
-    let replacement = short_ans
+    Ok(short_ans
         .into_iter()
         .zip(long_ans)
         .map(|(x, y)| x.min(y))
-        .collect();
-    RPathsOutput {
-        replacement,
-        metrics: net.metrics().clone(),
-    }
+        .collect())
 }
 
 #[cfg(test)]
@@ -257,7 +277,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let mut params = Params::with_zeta(40, 5).with_seed(seed);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             assert_eq!(
                 out.replacement,
                 replacement_lengths(&g, &inst.path),
@@ -272,7 +292,7 @@ mod tests {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(inst.n(), 4);
         params.landmark_prob = 1.0;
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
     }
 
@@ -293,7 +313,7 @@ mod tests {
             // |L|² broadcast shrinks, masking the effect at tiny n).
             let mut params = Params::for_instance(&inst).with_seed(3);
             params.landmark_prob = 0.15;
-            solve(&inst, &params).metrics.rounds()
+            solve(&inst, &params).unwrap().metrics.rounds()
         };
         let short = build(8);
         let long = build(100);

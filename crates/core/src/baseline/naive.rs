@@ -11,15 +11,40 @@ use congest::bfs_tree::build_bfs_tree;
 use congest::broadcast::broadcast;
 use congest::multi_bfs::{multi_source_bfs, MultiBfsConfig};
 use congest::{word_bits, Network};
+use graphkit::Dist;
 
-use crate::{Instance, Params, RPathsOutput};
+use crate::{Instance, Params, RPathsOutput, SolveError};
 
 /// Runs the naive per-edge-BFS algorithm. Exact; `O(h_st · T_BFS + D)`
 /// rounds.
-pub fn solve(inst: &Instance<'_>, _params: &Params) -> RPathsOutput {
-    assert!(inst.graph.is_unweighted(), "naive baseline is unweighted");
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
     let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s());
+    let replacement = solve_on(&mut net, inst, params)?;
+    Ok(RPathsOutput {
+        replacement,
+        metrics: net.take_metrics(),
+    })
+}
+
+/// Like [`solve`], but on a caller-provided network; metrics accumulate
+/// on `net`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_on(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    _params: &Params,
+) -> Result<Vec<Dist>, SolveError> {
+    assert!(inst.graph.is_unweighted(), "naive baseline is unweighted");
+    let (tree, _) = build_bfs_tree(net, inst.s())?;
     let n = inst.n() as u64;
     let mut replacement = Vec::with_capacity(inst.hops());
     for (i, &banned) in inst.path.edges().iter().enumerate() {
@@ -30,7 +55,7 @@ pub fn solve(inst: &Instance<'_>, _params: &Params) -> RPathsOutput {
             delays: None,
         };
         let (dist, _) = multi_source_bfs(
-            &mut net,
+            net,
             &cfg,
             |e| e != banned,
             &format!("naive/bfs-{i}"),
@@ -48,16 +73,13 @@ pub fn solve(inst: &Instance<'_>, _params: &Params) -> RPathsOutput {
         .map(|(i, d)| (i as u32, d.raw()))
         .collect();
     let _ = broadcast(
-        &mut net,
+        net,
         &tree,
         items,
         |&(i, d)| word_bits(i as u64) + 1 + word_bits(if d == u64::MAX { 0 } else { d }),
         "naive/publish",
     );
-    RPathsOutput {
-        replacement,
-        metrics: net.metrics().clone(),
-    }
+    Ok(replacement)
 }
 
 #[cfg(test)]
@@ -71,7 +93,7 @@ mod tests {
         for seed in 0..5 {
             let (g, s, t) = planted_path_digraph(40, 12, 100, seed);
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
-            let out = solve(&inst, &Params::for_instance(&inst));
+            let out = solve(&inst, &Params::for_instance(&inst)).unwrap();
             assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
         }
     }
@@ -81,12 +103,14 @@ mod tests {
         let (g1, s1, t1) = parallel_lane(8, 2, 1);
         let inst1 = Instance::from_endpoints(&g1, s1, t1).unwrap();
         let r1 = solve(&inst1, &Params::for_instance(&inst1))
+            .unwrap()
             .metrics
             .rounds();
 
         let (g2, s2, t2) = parallel_lane(32, 2, 1);
         let inst2 = Instance::from_endpoints(&g2, s2, t2).unwrap();
         let r2 = solve(&inst2, &Params::for_instance(&inst2))
+            .unwrap()
             .metrics
             .rounds();
 
@@ -99,7 +123,7 @@ mod tests {
     fn infinite_replacements_detected() {
         let (g, s, t) = parallel_lane(6, 6, 1); // switches only at 0 and 6
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
-        let out = solve(&inst, &Params::for_instance(&inst));
+        let out = solve(&inst, &Params::for_instance(&inst)).unwrap();
         let want = replacement_lengths(&g, &inst.path);
         assert_eq!(out.replacement, want);
     }

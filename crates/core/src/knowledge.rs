@@ -20,7 +20,7 @@
 
 use congest::bfs_tree::BfsTree;
 use congest::broadcast::broadcast;
-use congest::{word_bits, Network, NodeCtx, Protocol, Scheduling};
+use congest::{word_bits, Network, NodeCtx, Scheduling, ShardedProtocol};
 use graphkit::{Dist, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,28 +56,47 @@ struct WaveState {
     forward_left: Option<Wave>,
 }
 
-struct WaveProtocol<'i> {
+/// Read-only state every node consults: the instance and the sampled
+/// positions.
+struct WaveShared<'i> {
     inst: &'i Instance<'i>,
     sampled: Vec<bool>,
-    state: Vec<WaveState>,
 }
 
-impl Protocol for WaveProtocol<'_> {
-    type Msg = Wave;
+struct WaveProtocol<'i> {
+    shared: WaveShared<'i>,
+    /// One [`WaveState`] per *node* (meaningful only at path vertices);
+    /// sharded: the engine steps disjoint slices from worker threads.
+    nodes: Vec<WaveState>,
+}
 
-    fn msg_bits(&self, m: &Wave) -> u64 {
+impl<'i> ShardedProtocol for WaveProtocol<'i> {
+    type Msg = Wave;
+    type Node = WaveState;
+    type Shared = WaveShared<'i>;
+
+    fn msg_bits(_: &Self::Shared, m: &Wave) -> u64 {
         word_bits(m.origin as u64) + word_bits(m.hops) + word_bits(m.weight)
     }
 
-    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Wave>) {
+    fn shared(&self) -> &Self::Shared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&Self::Shared, &mut [Self::Node]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &Self::Shared, node: &mut WaveState, ctx: &mut NodeCtx<'_, Wave>) {
         let v = ctx.node;
-        let Some(pos) = self.inst.path_index[v] else {
+        let inst = shared.inst;
+        let Some(pos) = inst.path_index[v] else {
             return;
         };
-        let h = self.inst.hops();
+        let h = inst.hops();
         // Identify this vertex's path ports by matching link ids.
-        let left_link = (pos > 0).then(|| self.inst.path.edge(pos - 1));
-        let right_link = (pos < h).then(|| self.inst.path.edge(pos));
+        let left_link = (pos > 0).then(|| inst.path.edge(pos - 1));
+        let right_link = (pos < h).then(|| inst.path.edge(pos));
         let port_for = |ctx: &NodeCtx<'_, Wave>, link: usize| -> u32 {
             ctx.ports()
                 .iter()
@@ -94,34 +113,34 @@ impl Protocol for WaveProtocol<'_> {
                 weight: wave.weight + w_edge,
             };
             if Some(link) == left_link {
-                self.state[pos].from_left = Some(arrived);
-                if !self.sampled[pos] {
-                    self.state[pos].forward_right = Some(arrived);
+                node.from_left = Some(arrived);
+                if !shared.sampled[pos] {
+                    node.forward_right = Some(arrived);
                 }
             } else if Some(link) == right_link {
-                self.state[pos].from_right = Some(arrived);
-                if !self.sampled[pos] {
-                    self.state[pos].forward_left = Some(arrived);
+                node.from_right = Some(arrived);
+                if !shared.sampled[pos] {
+                    node.forward_left = Some(arrived);
                 }
             }
         }
         // Kick off waves from sampled vertices.
-        if ctx.round == 0 && self.sampled[pos] {
+        if ctx.round == 0 && shared.sampled[pos] {
             let seed = Wave {
                 origin: v,
                 hops: 0,
                 weight: 0,
             };
-            self.state[pos].forward_right = Some(seed);
-            self.state[pos].forward_left = Some(seed);
+            node.forward_right = Some(seed);
+            node.forward_left = Some(seed);
         }
         // Forward pending waves.
-        if let Some(wave) = self.state[pos].forward_right.take() {
+        if let Some(wave) = node.forward_right.take() {
             if let Some(link) = right_link {
                 ctx.send(port_for(ctx, link), wave);
             }
         }
-        if let Some(wave) = self.state[pos].forward_left.take() {
+        if let Some(wave) = node.forward_left.take() {
             if let Some(link) = left_link {
                 ctx.send(port_for(ctx, link), wave);
             }
@@ -191,15 +210,21 @@ pub fn acquire(
     for s in sampled.iter_mut().take(h).skip(1) {
         *s = rng.gen_bool(p_sample);
     }
-    // Phase 1: waves along P.
+    // Phase 1: waves along P (on the sharded-parallel engine path).
     let mut proto = WaveProtocol {
-        inst,
-        sampled: sampled.clone(),
-        state: vec![WaveState::default(); h + 1],
+        shared: WaveShared {
+            inst,
+            sampled: sampled.clone(),
+        },
+        nodes: vec![WaveState::default(); n],
     };
     let budget = 4 * (h as u64 + 4);
-    net.run_until_quiet("lemma2.5/waves", &mut proto, budget)
+    net.run_until_quiet_par("lemma2.5/waves", &mut proto, budget)
         .expect("waves terminate within the path length");
+    // Per path position: the wave state of the vertex at that position.
+    let state: Vec<WaveState> = (0..=h)
+        .map(|pos| proto.nodes[inst.path.node(pos)])
+        .collect();
 
     // Phase 2: sampled vertices publish their chain links.
     let mut items: Vec<Vec<ChainItem>> = vec![Vec::new(); n];
@@ -215,7 +240,7 @@ pub fn acquire(
             items[v].push(ChainItem::Target(v));
         }
         if pos > 0 {
-            let wave = proto.state[pos]
+            let wave = state[pos]
                 .from_left
                 .expect("sampled vertex absorbed the left wave");
             items[v].push(ChainItem::Link {
@@ -272,7 +297,7 @@ pub fn acquire(
         let (i, w) = if sampled[pos] {
             *chain_pos.get(&v).expect("sampled vertex on chain")
         } else {
-            let wave = proto.state[pos]
+            let wave = state[pos]
                 .from_left
                 .expect("every path vertex is reached by a left wave");
             let &(oi, ow) = chain_pos
@@ -300,7 +325,7 @@ mod tests {
 
     fn check(inst: &Instance<'_>, params: &Params) {
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         let know = acquire(&mut net, inst, params, &tree);
         let h = inst.hops();
         assert_eq!(know.index, (0..=h).collect::<Vec<_>>());
@@ -340,7 +365,7 @@ mod tests {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let params = Params::for_instance(&inst);
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         let _ = acquire(&mut net, &inst, &params, &tree);
         let rounds = net.metrics().rounds();
         // Wave phase <= h, broadcast <= O(#sampled + D); very loose cap.

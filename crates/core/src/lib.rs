@@ -24,6 +24,14 @@
 //! live in [`Params`]. Every solver returns both the answers and the
 //! full round/message/bit accounting of its run.
 //!
+//! Every phase of every solver — tree construction, knowledge waves,
+//! hop-BFS, multi-source BFS, pipelines, broadcasts, aggregations — runs
+//! on the `congest` crate's deterministic sharded-parallel engine, so
+//! whole solves are bit-identical at any `CONGEST_THREADS` setting
+//! (enforced end-to-end by `tests/engine_equivalence.rs`). Failure
+//! scenarios are first-class: solvers return [`SolveError`] (for
+//! example, on a partitioned communication graph) instead of panicking.
+//!
 //! # Quick example
 //!
 //! ```
@@ -33,7 +41,7 @@
 //! let (g, s, t) = parallel_lane(16, 4, 2);
 //! let inst = Instance::from_endpoints(&g, s, t).unwrap();
 //! let params = Params::for_instance(&inst);
-//! let out = unweighted::solve(&inst, &params);
+//! let out = unweighted::solve(&inst, &params).unwrap();
 //! // Exact agreement with the centralized oracle:
 //! let oracle = graphkit::alg::replacement_lengths(inst.graph, &inst.path);
 //! assert_eq!(out.replacement, oracle);
@@ -56,8 +64,70 @@ pub mod weighted;
 pub use instance::{Instance, InstanceError};
 pub use params::Params;
 
+use std::fmt;
+
+use congest::bfs_tree::TreeError;
 use congest::Metrics;
 use graphkit::Dist;
+
+/// Why a solver could not produce an answer.
+///
+/// Every public solver returns `Result<_, SolveError>`: failure scenarios
+/// (most importantly a *partitioned* communication graph, where the BFS
+/// tree the global primitives run on cannot span) are recoverable
+/// conditions callers handle, never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The communication graph is partitioned: the BFS tree rooted at the
+    /// source reached only `reached` of `total` nodes.
+    Partitioned {
+        /// Nodes in the source's component.
+        reached: usize,
+        /// Nodes in the network.
+        total: usize,
+        /// The smallest node id outside the source's component.
+        witness: usize,
+    },
+    /// An engine round budget was exhausted (an invariant violation, not
+    /// a topology property).
+    Engine(congest::EngineError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Partitioned {
+                reached,
+                total,
+                witness,
+            } => write!(
+                f,
+                "communication graph is partitioned: reached {reached} of {total} \
+                 nodes (node {witness} unreachable)"
+            ),
+            SolveError::Engine(e) => write!(f, "engine budget exhausted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<TreeError> for SolveError {
+    fn from(e: TreeError) -> SolveError {
+        match e {
+            TreeError::Disconnected {
+                joined,
+                total,
+                witness,
+            } => SolveError::Partitioned {
+                reached: joined,
+                total,
+                witness,
+            },
+            TreeError::Engine(e) => SolveError::Engine(e),
+        }
+    }
+}
 
 /// The output of a replacement-paths solver.
 #[derive(Clone, Debug)]

@@ -191,7 +191,7 @@ mod tests {
         params.landmark_prob = 1.0;
         let landmarks: Vec<NodeId> = inst.graph.nodes().collect();
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         let ld = landmark_distances(&mut net, &inst, &params, &landmarks, &tree);
         let (fwd, bwd) = exact_tables(&inst, &landmarks);
         assert_eq!(ld.from_landmark, fwd);
@@ -213,7 +213,7 @@ mod tests {
                 continue;
             }
             let mut net = Network::new(inst.graph);
-            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
             let ld = landmark_distances(&mut net, &inst, &params, &landmarks, &tree);
             let (fwd, bwd) = exact_tables(&inst, &landmarks);
             assert_eq!(ld.from_landmark, fwd, "seed {seed}");
@@ -246,7 +246,7 @@ mod tests {
         params.landmark_prob = 0.5;
         let landmarks = crate::long::landmarks::sample(&inst, &params);
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         let ld = landmark_distances(&mut net, &inst, &params, &landmarks, &tree);
         let (fwd, bwd) = exact_tables(&inst, &landmarks);
         for j in 0..landmarks.len() {

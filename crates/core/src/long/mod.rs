@@ -75,7 +75,7 @@ mod tests {
 
     fn run_long(inst: &Instance<'_>, params: &Params) -> Vec<Dist> {
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         solve_long(&mut net, inst, params, &tree)
     }
 

@@ -270,7 +270,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let lms = landmarks::sample(&inst, &params);
             let mut net = Network::new(inst.graph);
-            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
             let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
             let got = distances_from_s(&mut net, &inst, &params, &ld, &tree, &inst.prefix);
             assert_eq!(got, oracle_m(&inst, &lms), "seed {seed}");
@@ -285,7 +285,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let lms = landmarks::sample(&inst, &params);
             let mut net = Network::new(inst.graph);
-            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
             let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
             let got = distances_to_t(&mut net, &inst, &params, &ld, &tree, &inst.suffix);
             assert_eq!(got, oracle_n(&inst, &lms), "seed {seed}");
@@ -301,7 +301,7 @@ mod tests {
         params.landmark_prob = 1.0;
         let lms = landmarks::sample(&inst, &params);
         let mut net = Network::new(inst.graph);
-        let (tree, _) = build_bfs_tree(&mut net, inst.s());
+        let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
         let ld = crate::long::dists::landmark_distances(&mut net, &inst, &params, &lms, &tree);
         let got_m = distances_from_s(&mut net, &inst, &params, &ld, &tree, &inst.prefix);
         let got_n = distances_to_t(&mut net, &inst, &params, &ld, &tree, &inst.suffix);

@@ -8,9 +8,9 @@
 //! Theorem 3 for weighted ones — reachability does not care about the
 //! `(1+ε)` stretch).
 
-use congest::Metrics;
+use congest::{Metrics, Network};
 
-use crate::{unweighted, weighted, Instance, Params};
+use crate::{unweighted, weighted, Instance, Params, SolveError};
 
 /// Output of the replacement-reachability computation.
 #[derive(Clone, Debug)]
@@ -39,19 +39,45 @@ impl ReachabilityOutput {
 }
 
 /// Computes replacement reachability for every path edge, w.h.p.
-pub fn solve(inst: &Instance<'_>, params: &Params) -> ReachabilityOutput {
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<ReachabilityOutput, SolveError> {
     if inst.graph.is_unweighted() {
-        let out = unweighted::solve(inst, params);
-        ReachabilityOutput {
+        let out = unweighted::solve(inst, params)?;
+        Ok(ReachabilityOutput {
             survivable: out.replacement.iter().map(|d| d.is_finite()).collect(),
             metrics: out.metrics,
-        }
+        })
     } else {
-        let out = weighted::solve(inst, params);
-        ReachabilityOutput {
+        let out = weighted::solve(inst, params)?;
+        Ok(ReachabilityOutput {
             survivable: out.scaled.iter().map(|d| d.is_finite()).collect(),
             metrics: out.metrics,
-        }
+        })
+    }
+}
+
+/// Like [`solve`], but on a caller-provided network; metrics accumulate
+/// on `net`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_on(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+) -> Result<Vec<bool>, SolveError> {
+    if inst.graph.is_unweighted() {
+        let replacement = unweighted::solve_on(net, inst, params)?;
+        Ok(replacement.iter().map(|d| d.is_finite()).collect())
+    } else {
+        let answers = weighted::solve_on(net, inst, params)?;
+        Ok(answers.scaled.iter().map(|d| d.is_finite()).collect())
     }
 }
 
@@ -75,7 +101,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let mut params = Params::with_zeta(40, 5).with_seed(seed);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             assert_eq!(out.survivable, oracle_reach(&g, &inst), "seed {seed}");
         }
     }
@@ -88,13 +114,13 @@ mod tests {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(inst.n(), inst.n());
         params.landmark_prob = 1.0;
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         assert!(out.fully_protected());
         assert!(out.single_points_of_failure().is_empty());
 
         let (g2, s2, t2) = planted_path_digraph(8, 7, 0, 0);
         let inst2 = Instance::from_endpoints(&g2, s2, t2).unwrap();
-        let out2 = solve(&inst2, &params);
+        let out2 = solve(&inst2, &params).unwrap();
         assert!(!out2.fully_protected());
         assert_eq!(out2.single_points_of_failure(), (0..7).collect::<Vec<_>>());
     }
@@ -115,7 +141,7 @@ mod tests {
             }
             let mut params = Params::with_zeta(30, 5).with_seed(seed);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             assert_eq!(out.survivable, oracle_reach(&g, &inst), "seed {seed}");
             tested += 1;
         }

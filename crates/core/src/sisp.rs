@@ -11,7 +11,7 @@ use congest::bfs_tree::{build_bfs_tree, BfsTree};
 use congest::Network;
 use graphkit::Dist;
 
-use crate::{unweighted, weighted, Instance, Params};
+use crate::{unweighted, weighted, Instance, Params, SolveError};
 
 /// Result of a 2-SiSP computation.
 #[derive(Clone, Debug)]
@@ -31,46 +31,68 @@ pub fn aggregate_min(net: &mut Network<'_>, tree: &BfsTree, values: &[Dist]) -> 
 
 /// Solves 2-SiSP for an unweighted instance: Theorem 1's RPaths plus an
 /// `O(D)`-round aggregation.
-pub fn solve(inst: &Instance<'_>, params: &Params) -> SispOutput {
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<SispOutput, SolveError> {
     let mut net = Network::new(inst.graph);
-    let value = solve_on(&mut net, inst, params);
-    SispOutput {
+    let value = solve_on(&mut net, inst, params)?;
+    Ok(SispOutput {
         value,
-        metrics: net.metrics().clone(),
-    }
+        metrics: net.take_metrics(),
+    })
 }
 
 /// `(1+ε)`-approximate 2-SiSP for weighted instances: Theorem 3's
 /// Apx-RPaths followed by the same `O(D)`-round min aggregation over the
 /// scaled values. The result `x` satisfies
 /// `2-SiSP ≤ x/den ≤ (1+ε)·2-SiSP`.
-pub fn solve_weighted(inst: &Instance<'_>, params: &Params) -> (Dist, u64, congest::Metrics) {
-    let apx = weighted::solve(inst, params);
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_weighted(
+    inst: &Instance<'_>,
+    params: &Params,
+) -> Result<(Dist, u64, congest::Metrics), SolveError> {
+    let apx = weighted::solve(inst, params)?;
     let mut values = vec![Dist::INF; inst.n()];
     for i in 0..inst.hops() {
         values[inst.path.node(i)] = apx.scaled[i];
     }
     let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s());
+    let (tree, _) = build_bfs_tree(&mut net, inst.s())?;
     let value = aggregate(&mut net, &tree, AggOp::Min, &values);
+    // Merge the aggregation phases into the solver's log by reference —
+    // no deep clone of the phase records.
     let mut metrics = apx.metrics;
-    for phase in net.metrics().phases.clone() {
-        metrics.record(phase.name, phase.stats);
-    }
-    (value, apx.den, metrics)
+    metrics.merge_from(&mut net.take_metrics());
+    Ok((value, apx.den, metrics))
 }
 
 /// Like [`solve`], but on a caller-provided network (Section 6
 /// experiments attach cut accounting before calling this).
-pub fn solve_on(net: &mut Network<'_>, inst: &Instance<'_>, params: &Params) -> Dist {
-    let replacement = unweighted::solve_on(net, inst, params);
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_on(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+) -> Result<Dist, SolveError> {
+    let replacement = unweighted::solve_on(net, inst, params)?;
     // Aggregation input: v_i contributes replacement[i].
     let mut values = vec![Dist::INF; inst.n()];
     for i in 0..inst.hops() {
         values[inst.path.node(i)] = replacement[i];
     }
-    let (tree, _) = build_bfs_tree(net, inst.s());
-    aggregate_min(net, &tree, &values)
+    let (tree, _) = build_bfs_tree(net, inst.s())?;
+    Ok(aggregate_min(net, &tree, &values))
 }
 
 #[cfg(test)]
@@ -83,7 +105,7 @@ mod tests {
     fn aggregate_min_finds_global_minimum() {
         let (g, _, _) = planted_path_digraph(40, 10, 80, 1);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let mut values = vec![Dist::INF; 40];
         values[17] = Dist::new(5);
         values[31] = Dist::new(3);
@@ -94,7 +116,7 @@ mod tests {
     fn aggregate_min_all_infinite() {
         let (g, _, _) = planted_path_digraph(20, 5, 30, 2);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 3);
+        let (tree, _) = build_bfs_tree(&mut net, 3).unwrap();
         let values = vec![Dist::INF; 20];
         assert_eq!(aggregate_min(&mut net, &tree, &values), Dist::INF);
     }
@@ -106,7 +128,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let mut params = Params::with_zeta(40, 5).with_seed(seed);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             assert_eq!(
                 out.value,
                 second_simple_shortest(&g, &inst.path),
@@ -126,7 +148,7 @@ mod tests {
         )
         .unwrap();
         let params = Params::with_zeta(inst.n(), inst.n());
-        assert_eq!(solve(&inst, &params).value, Dist::new(9));
+        assert_eq!(solve(&inst, &params).unwrap().value, Dist::new(9));
 
         let broken = theorem2_family(8, Some(4));
         let inst = Instance::new(
@@ -134,7 +156,7 @@ mod tests {
             graphkit::StPath::from_nodes(&broken.graph, &broken.short_path).unwrap(),
         )
         .unwrap();
-        assert_eq!(solve(&inst, &params).value, Dist::INF);
+        assert_eq!(solve(&inst, &params).unwrap().value, Dist::INF);
     }
 
     #[test]
@@ -147,7 +169,7 @@ mod tests {
         }
         let mut params = Params::with_zeta(30, 5);
         params.landmark_prob = 1.0;
-        let (value, den, _) = solve_weighted(&inst, &params);
+        let (value, den, _) = solve_weighted(&inst, &params).unwrap();
         let oracle = second_simple_shortest(&g, &inst.path);
         match (value.finite(), oracle.finite()) {
             (None, None) => {}
@@ -166,7 +188,7 @@ mod tests {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(inst.n(), 7);
         params.landmark_prob = 1.0;
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         assert_eq!(out.value, second_simple_shortest(&g, &inst.path));
     }
 }

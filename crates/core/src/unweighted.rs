@@ -9,47 +9,61 @@
 use congest::bfs_tree::build_bfs_tree;
 use congest::Network;
 
-use crate::{knowledge, long, short, Instance, Params, RPathsOutput};
+use crate::{knowledge, long, short, Instance, Params, RPathsOutput, SolveError};
 
 /// Solves unweighted directed RPaths (Definition 2.1) with high
 /// probability, exactly.
+///
+/// Every phase runs on the sharded-parallel engine path, so the answers
+/// and the per-phase [`congest::RunStats`] are bit-identical at any
+/// `CONGEST_THREADS` setting.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
 ///
 /// # Panics
 ///
 /// Panics if the graph is weighted — use [`crate::weighted::solve`] for
 /// the `(1+ε)` algorithm of Theorem 3.
-pub fn solve(inst: &Instance<'_>, params: &Params) -> RPathsOutput {
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
     let mut net = Network::new(inst.graph);
-    let replacement = solve_on(&mut net, inst, params);
-    RPathsOutput {
+    let replacement = solve_on(&mut net, inst, params)?;
+    Ok(RPathsOutput {
         replacement,
-        metrics: net.metrics().clone(),
-    }
+        metrics: net.take_metrics(),
+    })
 }
 
 /// Like [`solve`], but on a caller-provided network (so callers can
-/// pre-configure bandwidth or cut accounting — the Section 6 experiments
-/// do both).
+/// pre-configure bandwidth, cut accounting, or thread counts — the
+/// Section 6 experiments and the engine-equivalence tests do all three).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
 pub fn solve_on(
     net: &mut Network<'_>,
     inst: &Instance<'_>,
     params: &Params,
-) -> Vec<graphkit::Dist> {
+) -> Result<Vec<graphkit::Dist>, SolveError> {
     assert!(
         inst.graph.is_unweighted(),
         "Theorem 1 applies to unweighted graphs; see weighted::solve"
     );
-    let (tree, _) = build_bfs_tree(net, inst.s());
+    let (tree, _) = build_bfs_tree(net, inst.s())?;
     // Lemma 2.5: vertices acquire their index and prefix/suffix distances.
     let know = knowledge::acquire(net, inst, params, &tree);
     debug_assert_eq!(know.dist_s, inst.prefix);
     let short_ans = short::solve_short(net, inst, params);
     let long_ans = long::solve_long(net, inst, params, &tree);
-    short_ans
+    Ok(short_ans
         .into_iter()
         .zip(long_ans)
         .map(|(a, b)| a.min(b))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -61,7 +75,7 @@ mod tests {
 
     fn check_exact(g: &graphkit::DiGraph, s: usize, t: usize, params: Params) {
         let inst = Instance::from_endpoints(g, s, t).unwrap();
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         let want = replacement_lengths(g, &inst.path);
         assert_eq!(out.replacement, want);
     }
@@ -107,7 +121,7 @@ mod tests {
     fn output_sisp_helper() {
         let (g, s, t) = parallel_lane(8, 2, 1);
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
-        let out = solve(&inst, &Params::with_zeta(g.node_count(), 8));
+        let out = solve(&inst, &Params::with_zeta(g.node_count(), 8)).unwrap();
         let want = replacement_lengths(&g, &inst.path);
         assert_eq!(out.sisp(), want.iter().copied().min().unwrap());
         assert!(out.sisp() != Dist::INF);
@@ -118,7 +132,7 @@ mod tests {
         let (g, s, t) = planted_path_digraph(200, 60, 500, 4);
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let params = Params::for_instance(&inst);
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         // At n = 200 the polylog factors dominate (|L| ≈ c·ln n · n^{1/3}
         // landmarks means ~|L|² broadcast rounds); the real asymptotics
         // are exercised in the benchmark harness. Sanity cap only:

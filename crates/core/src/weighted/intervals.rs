@@ -258,7 +258,7 @@ mod tests {
             let zeta = 4;
             let params = Params::with_zeta(inst.n(), zeta).with_eps(1, 2);
             let mut net = Network::new(inst.graph);
-            let (tree, _) = congest::bfs_tree::build_bfs_tree(&mut net, inst.s());
+            let (tree, _) = congest::bfs_tree::build_bfs_tree(&mut net, inst.s()).unwrap();
             let got = solve_short_apx(&mut net, &inst, &params, &tree);
             let want = oracle_short(&inst, zeta);
             let full = graphkit::alg::replacement_lengths(inst.graph, &inst.path);

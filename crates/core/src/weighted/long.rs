@@ -175,7 +175,7 @@ mod tests {
             let mut params = Params::with_zeta(inst.n(), 5).with_eps(1, 2);
             params.landmark_prob = 1.0;
             let mut net = Network::new(inst.graph);
-            let (tree, _) = build_bfs_tree(&mut net, inst.s());
+            let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
             let got = solve_long_apx(&mut net, &inst, &params, &tree);
             let oracle = replacement_lengths(&g, &inst.path);
             for i in 0..inst.hops() {

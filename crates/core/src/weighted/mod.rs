@@ -24,7 +24,7 @@ use congest::bfs_tree::build_bfs_tree;
 use congest::{Metrics, Network};
 use graphkit::Dist;
 
-use crate::{knowledge, Instance, Params};
+use crate::{knowledge, Instance, Params, SolveError};
 
 /// Output of the approximate solver: per-edge values `x` with
 /// `|st ⋄ e| ≤ x ≤ (1+ε)·|st ⋄ e|`.
@@ -94,16 +94,46 @@ impl ApxOutput {
 
 /// Theorem 3: `(1+ε)`-approximate RPaths for weighted directed graphs in
 /// `eO(n^{2/3} + D)` rounds, w.h.p.
-pub fn solve(inst: &Instance<'_>, params: &Params) -> ApxOutput {
+///
+/// Every phase runs on the sharded-parallel engine path, so the answers
+/// and the per-phase [`congest::RunStats`] are bit-identical at any
+/// `CONGEST_THREADS` setting.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<ApxOutput, SolveError> {
     let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s());
-    let know = knowledge::acquire(&mut net, inst, params, &tree);
+    let answers = solve_on(&mut net, inst, params)?;
+    Ok(ApxOutput {
+        scaled: answers.scaled,
+        den: answers.den,
+        metrics: net.take_metrics(),
+    })
+}
+
+/// Like [`solve`], but on a caller-provided network (pre-configured
+/// bandwidth, cut accounting, or thread counts); metrics accumulate on
+/// `net`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Partitioned`] when the communication graph is
+/// disconnected.
+pub fn solve_on(
+    net: &mut Network<'_>,
+    inst: &Instance<'_>,
+    params: &Params,
+) -> Result<ScaledAnswers, SolveError> {
+    let (tree, _) = build_bfs_tree(net, inst.s())?;
+    let know = knowledge::acquire(net, inst, params, &tree);
     debug_assert_eq!(know.dist_s, inst.prefix);
 
     // Proposition 7.1: short detours via rounding + interval pipelining.
-    let short = intervals::solve_short_apx(&mut net, inst, params, &tree);
+    let short = intervals::solve_short_apx(net, inst, params, &tree);
     // Proposition 7.11: long detours via approximate landmark distances.
-    let long = long::solve_long_apx(&mut net, inst, params, &tree);
+    let long = long::solve_long_apx(net, inst, params, &tree);
 
     // Both sides produce scaled values; bring them to a common
     // denominator and take the minimum.
@@ -118,11 +148,7 @@ pub fn solve(inst: &Instance<'_>, params: &Params) -> ApxOutput {
             a2.min(b2)
         })
         .collect();
-    ApxOutput {
-        scaled,
-        den,
-        metrics: net.metrics().clone(),
-    }
+    Ok(ScaledAnswers { scaled, den })
 }
 
 /// A pair (scaled lengths, denominator) produced by one side of the
@@ -179,7 +205,7 @@ mod tests {
             let inst = Instance::from_endpoints(&g, s, t).unwrap();
             let mut params = Params::with_zeta(inst.n(), 6).with_seed(seed);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             let oracle = replacement_lengths(&g, &inst.path);
             out.check_guarantee(&oracle, params.eps_num, params.eps_den)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -200,7 +226,7 @@ mod tests {
                 .with_seed(seed)
                 .with_eps(1, 10);
             params.landmark_prob = 1.0;
-            let out = solve(&inst, &params);
+            let out = solve(&inst, &params).unwrap();
             let oracle = replacement_lengths(&g, &inst.path);
             out.check_guarantee(&oracle, 1, 10)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -216,7 +242,7 @@ mod tests {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(inst.n(), 4);
         params.landmark_prob = 1.0;
-        let out = solve(&inst, &params);
+        let out = solve(&inst, &params).unwrap();
         let oracle = replacement_lengths(&g, &inst.path);
         out.check_guarantee(&oracle, params.eps_num, params.eps_den)
             .unwrap();

@@ -38,7 +38,7 @@ pub fn run_family(d: usize, reversed_edge: Option<usize>, seed: u64) -> Diameter
     let mut params = Params::for_instance(&inst).with_seed(seed);
     params.landmark_prob = 1.0;
     let mut net = Network::new(&fam.graph);
-    let value = sisp::solve_on(&mut net, &inst, &params);
+    let value = sisp::solve_on(&mut net, &inst, &params).expect("connected family");
     let expected = fam.expected_sisp.map(Dist::new).unwrap_or(Dist::INF);
     let diameter = graphkit::alg::undirected_diameter(&fam.graph).expect("connected");
     DiameterPoint {

@@ -76,7 +76,7 @@ fn solve_distributed(g: &HardGraph, seed: u64) -> ReductionOutcome {
     params.landmark_prob = 1.0;
     let mut net = Network::new(&g.graph);
     net.set_cut(g.cut_sides());
-    let value = sisp::solve_on(&mut net, &inst, &params);
+    let value = sisp::solve_on(&mut net, &inst, &params).expect("connected family");
     let disjoint = value != Dist::new(g.good_length);
     ReductionOutcome {
         disjoint,

@@ -8,7 +8,7 @@
 //! election by id-flooding* from scratch and cross-checks the round
 //! count against the graph's diameter.
 //!
-//! Run with: `cargo run --release -p rpaths-bench --example congest_primer`
+//! Run with: `cargo run --release -p rpaths --example congest_primer`
 
 use congest::{Network, NodeCtx, Protocol, Scheduling};
 use graphkit::gen::random_digraph;

@@ -9,7 +9,7 @@
 //! bit/round channel between the two sides, 2-SiSP needs
 //! `eΩ(n^{2/3})` rounds.
 //!
-//! Run with: `cargo run --release -p rpaths-bench --example lower_bound_demo`
+//! Run with: `cargo run --release -p rpaths --example lower_bound_demo`
 
 use rpaths_lb::disjointness::{implied_round_lower_bound, run_reduction};
 

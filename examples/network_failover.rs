@@ -8,11 +8,17 @@
 //! protection fiber is longer than the short-detour threshold ζ, so the
 //! landmark pipeline of Section 5 does the work.
 //!
-//! Run with: `cargo run --release -p rpaths-bench --example network_failover`
+//! The second half simulates a *catastrophic* failure that partitions the
+//! network: the control plane must detect the partition as a recoverable
+//! error (no aborts) and report which side of the cut it can still see.
+//!
+//! Run with: `cargo run --release -p rpaths --example network_failover`
 
+use congest::bfs_tree::{build_bfs_tree, TreeError};
+use congest::Network;
 use graphkit::gen::parallel_lane;
-use graphkit::Dist;
-use rpaths_core::{unweighted, Instance, Params};
+use graphkit::{Dist, GraphBuilder};
+use rpaths_core::{reachability, unweighted, Instance, Params};
 
 fn main() {
     // 48 PoPs on the primary route; protection fiber with cross-connects
@@ -31,7 +37,7 @@ fn main() {
     // Shrink ζ to put them firmly in the long-detour regime instead:
     let mut params = Params::with_zeta(inst.n(), 8);
     params.landmark_prob = 0.6;
-    let out = unweighted::solve(&inst, &params);
+    let out = unweighted::solve(&inst, &params).expect("backbone is connected");
 
     println!(
         "\nfailover cost per primary link (primary route costs {}):",
@@ -66,4 +72,54 @@ fn main() {
     let oracle = graphkit::alg::replacement_lengths(&g, &inst.path);
     assert_eq!(out.replacement, oracle, "distributed ≠ centralized");
     println!("(verified against the centralized oracle)");
+
+    // The same answers drive survivability reporting: which links have
+    // *no* reroute at all?
+    let reach = reachability::solve(&inst, &params).expect("backbone is connected");
+    println!(
+        "\nsurvivability: {} of {} links protected, SPOFs: {:?}",
+        reach.survivable.iter().filter(|&&b| b).count(),
+        reach.survivable.len(),
+        reach.single_points_of_failure()
+    );
+
+    // ------------------------------------------------------------------
+    // Catastrophic failure: a fiber cut severs every link between two
+    // halves of a metro ring, partitioning the network. Global protocols
+    // cannot run — the control plane must see a *recoverable* error and
+    // report the partition instead of crashing.
+    // ------------------------------------------------------------------
+    println!("\n=== catastrophic fiber cut: partitioned metro ring ===");
+    let half = 12usize;
+    let mut b = GraphBuilder::new(2 * half);
+    for i in 0..half - 1 {
+        // West ring segment (nodes 0..half), east segment (half..2·half);
+        // the inter-segment links are the ones the cut severed.
+        b.add_bidirectional(i, i + 1);
+        b.add_bidirectional(half + i, half + i + 1);
+    }
+    let cut_ring = b.build();
+    let mut net = Network::new(&cut_ring);
+    match build_bfs_tree(&mut net, 0) {
+        Ok(_) => unreachable!("the cut severed the ring"),
+        Err(TreeError::Disconnected {
+            joined,
+            total,
+            witness,
+        }) => {
+            println!(
+                "partition detected: control plane at PoP 0 reaches {joined} of \
+                 {total} PoPs (first unreachable: PoP {witness})"
+            );
+            println!("-> degraded mode: serving the west segment only, paging ops");
+        }
+        Err(e) => panic!("unexpected engine failure: {e}"),
+    }
+    // The instance layer refuses partitioned communication graphs too —
+    // also recoverably.
+    match Instance::from_endpoints(&cut_ring, 0, half - 1) {
+        Ok(_) => println!("note: route stayed within one segment"),
+        Err(e) => println!("instance-level report: {e}"),
+    }
+    println!("(partition handled without aborting)");
 }

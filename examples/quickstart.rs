@@ -1,7 +1,7 @@
 //! Quickstart: build a small network, run the paper's exact
 //! replacement-paths algorithm, and print what each edge's failure costs.
 //!
-//! Run with: `cargo run --release -p rpaths-bench --example quickstart`
+//! Run with: `cargo run --release -p rpaths --example quickstart`
 
 use graphkit::alg::replacement_lengths;
 use graphkit::GraphBuilder;
@@ -29,7 +29,7 @@ fn main() {
 
     // Solve RPaths with the paper's defaults (ζ = n^{2/3}).
     let params = Params::for_instance(&inst);
-    let out = unweighted::solve(&inst, &params);
+    let out = unweighted::solve(&inst, &params).expect("ring is connected");
 
     println!("\nif an edge of the path fails, the best reroute costs:");
     for (i, len) in out.replacement.iter().enumerate() {

@@ -4,7 +4,7 @@
 //! guaranteed-within-(1+ε) estimate of the detour cost if that segment
 //! closes.
 //!
-//! Run with: `cargo run --release -p rpaths-bench --example transport_rerouting`
+//! Run with: `cargo run --release -p rpaths --example transport_rerouting`
 
 use graphkit::alg::replacement_lengths;
 use graphkit::GraphBuilder;
@@ -53,7 +53,7 @@ fn main() {
     // ε = 1/4: answers within 25% of optimal, guaranteed.
     let mut params = Params::for_instance(&inst).with_eps(1, 4);
     params.landmark_prob = 1.0; // city-scale n: make w.h.p. a certainty
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).expect("city grid is connected");
     let est = out.values();
 
     println!("\nif a segment closes, the reroute takes about:");

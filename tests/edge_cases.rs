@@ -13,7 +13,7 @@ fn full_params(n: usize, zeta: usize) -> Params {
 }
 
 fn assert_exact(g: &graphkit::DiGraph, inst: &Instance<'_>, zeta: usize) {
-    let out = unweighted::solve(inst, &full_params(inst.n(), zeta));
+    let out = unweighted::solve(inst, &full_params(inst.n(), zeta)).unwrap();
     assert_eq!(out.replacement, replacement_lengths(g, &inst.path));
 }
 
@@ -47,7 +47,7 @@ fn parallel_edge_duplicates_of_path_edges() {
     // The path must use specific edge ids; pick the even ones.
     let p = StPath::new(&g, (0..h).map(|i| 2 * i).collect()).unwrap();
     let inst = Instance::new(&g, p).unwrap();
-    let out = unweighted::solve(&inst, &full_params(inst.n(), 2));
+    let out = unweighted::solve(&inst, &full_params(inst.n(), 2)).unwrap();
     assert_eq!(out.replacement, vec![Dist::new(h as u64); h]);
 }
 
@@ -123,7 +123,7 @@ fn weighted_ties_and_heavy_parallel_edges() {
     let g = b.build();
     let inst = Instance::from_endpoints(&g, 0, 4).unwrap();
     let params = full_params(5, 2).with_eps(1, 10);
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
     out.check_guarantee(&oracle, 1, 10).unwrap();
 }
@@ -189,7 +189,7 @@ fn path_knowledge_protocol_on_extreme_shapes() {
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst).with_seed(9);
     let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s());
+    let (tree, _) = build_bfs_tree(&mut net, inst.s()).unwrap();
     let know = knowledge::acquire(&mut net, &inst, &params, &tree);
     assert_eq!(know.index, (0..=63).collect::<Vec<_>>());
     assert_eq!(know.dist_s, inst.prefix);
@@ -203,8 +203,8 @@ fn runs_are_fully_deterministic() {
     let (g, s, t) = graphkit::gen::planted_path_digraph(80, 20, 200, 5);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst).with_seed(123);
-    let a = unweighted::solve(&inst, &params);
-    let b = unweighted::solve(&inst, &params);
+    let a = unweighted::solve(&inst, &params).unwrap();
+    let b = unweighted::solve(&inst, &params).unwrap();
     assert_eq!(a.replacement, b.replacement);
     assert_eq!(a.metrics.total, b.metrics.total);
     assert_eq!(a.metrics.phases.len(), b.metrics.phases.len());

@@ -10,10 +10,14 @@
 //! parallel run must be bit-identical to a sequential one at every
 //! thread count. These tests drive all five communication primitives,
 //! the Lemma 4.2 hop-BFS, and the end-to-end Theorem 1 solver across
-//! random topologies under both schedules, and run every migrated
+//! random topologies under both schedules, run every migrated
 //! sharded protocol through the full
 //! `{sequential, 2 threads, 8 threads} × {active-set, full-sweep} ×
-//! {sparse, dense}` matrix.
+//! {sparse, dense}` matrix, and extend the same matrix to *every public
+//! solver* — `unweighted`, `weighted`, `sisp`, `reachability`, and both
+//! baselines — across graph families, so end-to-end answers and the full
+//! per-phase metrics log are pinned bit-identical at any
+//! `CONGEST_THREADS` setting.
 
 use congest::aggregate::{aggregate, AggOp};
 use congest::bfs_tree::build_bfs_tree;
@@ -43,7 +47,7 @@ proptest! {
     fn bfs_tree_is_schedule_invariant(n in 2usize..70, seed in 0u64..500) {
         let g = random_digraph(n, 2 * n, seed);
         let root = seed as usize % n;
-        let ((ta, sa), (ts, ss)) = both(&g, |net| build_bfs_tree(net, root));
+        let ((ta, sa), (ts, ss)) = both(&g, |net| build_bfs_tree(net, root).unwrap());
         prop_assert_eq!(sa, ss);
         prop_assert_eq!(ta.parent, ts.parent);
         prop_assert_eq!(ta.depth, ts.depth);
@@ -61,7 +65,7 @@ proptest! {
             .map(|v| (0..per_node).map(|j| (v * 16 + j) as u64).collect())
             .collect();
         let ((oa, sa), (os, ss)) = both(&g, |net| {
-            let (tree, _) = build_bfs_tree(net, 0);
+            let (tree, _) = build_bfs_tree(net, 0).unwrap();
             broadcast(net, &tree, items.clone(), |_| 16, "bc")
         });
         prop_assert_eq!(sa, ss);
@@ -76,7 +80,7 @@ proptest! {
             .collect();
         for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
             let (ra, rs) = both(&g, |net| {
-                let (tree, _) = build_bfs_tree(net, 0);
+                let (tree, _) = build_bfs_tree(net, 0).unwrap();
                 let before = net.metrics().total;
                 let result = aggregate(net, &tree, op, &values);
                 (result, diff(&net.metrics().total, &before))
@@ -165,7 +169,7 @@ proptest! {
         let mut params = rpaths_core::Params::with_zeta(n, zeta).with_seed(seed);
         params.landmark_prob = 1.0;
         let ((ra, ma), (rs, ms)) = both(&g, |net| {
-            let replacement = rpaths_core::unweighted::solve_on(net, &inst, &params);
+            let replacement = rpaths_core::unweighted::solve_on(net, &inst, &params).unwrap();
             (replacement, net.metrics().clone())
         });
         prop_assert_eq!(ra, rs);
@@ -186,7 +190,7 @@ proptest! {
         let items: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
         let ((_, sa), (_, ss)) = both(&g, |net| {
             net.set_cut(sides.clone());
-            let (tree, _) = build_bfs_tree(net, 0);
+            let (tree, _) = build_bfs_tree(net, 0).unwrap();
             broadcast(net, &tree, items.clone(), |_| 16, "bc")
         });
         prop_assert_eq!(sa, ss);
@@ -238,7 +242,7 @@ fn parallel_broadcast_matches_sequential_bitwise() {
             .map(|v| (0..1 + v % 3).map(|j| (v * 16 + j) as u64).collect())
             .collect();
         parallel_matrix(&g, |net| {
-            let (tree, tree_stats) = build_bfs_tree(net, 0);
+            let (tree, tree_stats) = build_bfs_tree(net, 0).unwrap();
             let (out, stats) = broadcast(net, &tree, items.clone(), |_| 16, "bc");
             (out, stats, tree_stats)
         });
@@ -288,6 +292,119 @@ fn parallel_hop_bfs_matches_sequential_bitwise() {
             });
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end solver matrices: every public solver, threads {1, 2, 8} ×
+// {active-set, full-sweep}, across graph families. Results AND the full
+// per-phase metrics log (phase names, rounds, messages, bits) must be
+// bit-identical to the sequential reference.
+// ---------------------------------------------------------------------
+
+/// Unweighted instance families: sparse planted path, dense planted
+/// path, and the parallel-lane (long-detour) family.
+fn solver_instances() -> Vec<(graphkit::DiGraph, usize, usize)> {
+    let sparse = planted_path_digraph(40, 12, 40, 21);
+    let dense = planted_path_digraph(44, 10, 320, 22);
+    let lane = graphkit::gen::parallel_lane(12, 4, 2);
+    vec![sparse, dense, lane]
+}
+
+fn solver_params(n: usize) -> rpaths_core::Params {
+    let mut params = rpaths_core::Params::with_zeta(n, 5).with_seed(7);
+    params.landmark_prob = 1.0;
+    params
+}
+
+#[test]
+fn parallel_unweighted_solver_matches_sequential_bitwise() {
+    for (g, s, t) in solver_instances() {
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let params = solver_params(inst.n());
+        parallel_matrix(&g, |net| {
+            let replacement = rpaths_core::unweighted::solve_on(net, &inst, &params).unwrap();
+            (replacement, net.metrics().clone())
+        });
+    }
+}
+
+#[test]
+fn parallel_sisp_solver_matches_sequential_bitwise() {
+    for (g, s, t) in solver_instances() {
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let params = solver_params(inst.n());
+        parallel_matrix(&g, |net| {
+            let value = rpaths_core::sisp::solve_on(net, &inst, &params).unwrap();
+            (value, net.metrics().clone())
+        });
+    }
+}
+
+#[test]
+fn parallel_reachability_matches_sequential_bitwise() {
+    for (g, s, t) in solver_instances() {
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let params = solver_params(inst.n());
+        parallel_matrix(&g, |net| {
+            let survivable = rpaths_core::reachability::solve_on(net, &inst, &params).unwrap();
+            (survivable, net.metrics().clone())
+        });
+    }
+}
+
+#[test]
+fn parallel_naive_baseline_matches_sequential_bitwise() {
+    for (g, s, t) in solver_instances() {
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let params = solver_params(inst.n());
+        parallel_matrix(&g, |net| {
+            let replacement = rpaths_core::baseline::naive::solve_on(net, &inst, &params).unwrap();
+            (replacement, net.metrics().clone())
+        });
+    }
+}
+
+#[test]
+fn parallel_mr24_baseline_matches_sequential_bitwise() {
+    for (g, s, t) in solver_instances() {
+        let inst = rpaths_core::Instance::from_endpoints(&g, s, t).unwrap();
+        let params = solver_params(inst.n());
+        parallel_matrix(&g, |net| {
+            let replacement = rpaths_core::baseline::mr24::solve_on(net, &inst, &params).unwrap();
+            (replacement, net.metrics().clone())
+        });
+    }
+}
+
+#[test]
+fn parallel_weighted_solver_matches_sequential_bitwise() {
+    use graphkit::gen::random_weighted_digraph;
+    let mut tested = 0;
+    for seed in 0..10 {
+        let g = random_weighted_digraph(30, 90, 8, seed);
+        let Some((s, t)) = graphkit::gen::random_reachable_pair(&g, seed) else {
+            continue;
+        };
+        let Ok(inst) = rpaths_core::Instance::from_endpoints(&g, s, t) else {
+            continue;
+        };
+        if inst.hops() < 3 {
+            continue;
+        }
+        let mut params = rpaths_core::Params::with_zeta(inst.n(), 5)
+            .with_seed(seed)
+            .with_eps(1, 2);
+        params.landmark_prob = 1.0;
+        parallel_matrix(&g, |net| {
+            let out = rpaths_core::weighted::solve_on(net, &inst, &params).unwrap();
+            (out.scaled, out.den, net.metrics().clone())
+        });
+        tested += 1;
+        if tested == 2 {
+            break;
+        }
+    }
+    assert!(tested >= 1, "no usable weighted instance");
 }
 
 /// Component-wise difference of two cumulative stats snapshots.

@@ -20,7 +20,7 @@ fn distributed_sisp_matches_oracle_on_hard_graphs() {
         let inst = Instance::from_endpoints(&hg.graph, hg.s, hg.t).unwrap();
         let mut params = Params::for_instance(&inst).with_seed(seed);
         params.landmark_prob = 1.0;
-        let out = sisp::solve(&inst, &params);
+        let out = sisp::solve(&inst, &params).unwrap();
         let oracle = second_simple_shortest(&hg.graph, &inst.path);
         assert_eq!(out.value, oracle, "seed {seed}");
     }
@@ -37,7 +37,7 @@ fn lemma68_and_distributed_solver_agree() {
         let inst = Instance::from_endpoints(&hg.graph, hg.s, hg.t).unwrap();
         let mut params = Params::for_instance(&inst).with_seed(seed);
         params.landmark_prob = 1.0;
-        let out = sisp::solve(&inst, &params);
+        let out = sisp::solve(&inst, &params).unwrap();
         assert_eq!(out.value, report.sisp, "seed {seed}");
     }
 }
@@ -60,8 +60,8 @@ fn sisp_equals_min_of_rpaths_output() {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(50, 6).with_seed(seed);
         params.landmark_prob = 1.0;
-        let rp = rpaths_core::unweighted::solve(&inst, &params);
-        let si = sisp::solve(&inst, &params);
+        let rp = rpaths_core::unweighted::solve(&inst, &params).unwrap();
+        let si = sisp::solve(&inst, &params).unwrap();
         assert_eq!(si.value, rp.sisp(), "seed {seed}");
     }
 }
@@ -81,6 +81,6 @@ fn sisp_infinite_when_no_second_path() {
     let (g, s, t) = planted_path_digraph(12, 11, 0, 0);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst);
-    let out = sisp::solve(&inst, &params);
+    let out = sisp::solve(&inst, &params).unwrap();
     assert_eq!(out.value, Dist::INF);
 }

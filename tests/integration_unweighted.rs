@@ -20,13 +20,13 @@ fn check_all_solvers(g: &graphkit::DiGraph, s: usize, t: usize, zeta: usize, see
     let oracle = replacement_lengths(g, &inst.path);
     let params = exact_params(inst.n(), zeta, seed);
 
-    let ours = unweighted::solve(&inst, &params);
+    let ours = unweighted::solve(&inst, &params).unwrap();
     assert_eq!(ours.replacement, oracle, "theorem1 mismatch");
 
-    let mr = baseline::mr24::solve(&inst, &params);
+    let mr = baseline::mr24::solve(&inst, &params).unwrap();
     assert_eq!(mr.replacement, oracle, "mr24 mismatch");
 
-    let naive = baseline::naive::solve(&inst, &params);
+    let naive = baseline::naive::solve(&inst, &params).unwrap();
     assert_eq!(naive.replacement, oracle, "naive mismatch");
 }
 
@@ -67,7 +67,7 @@ fn zeta_boundary_cases() {
     let oracle = replacement_lengths(&g, &inst.path);
     // ζ exactly at, below, and above the detour length.
     for zeta in [4, 5, 6] {
-        let out = unweighted::solve(&inst, &exact_params(inst.n(), zeta, 9));
+        let out = unweighted::solve(&inst, &exact_params(inst.n(), zeta, 9)).unwrap();
         assert_eq!(out.replacement, oracle, "zeta = {zeta}");
     }
 }
@@ -78,14 +78,14 @@ fn unreachable_replacements_are_infinite_everywhere() {
     let (g, s, t) = parallel_lane(9, 9, 1);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
-    let out = unweighted::solve(&inst, &exact_params(inst.n(), 4, 5));
+    let out = unweighted::solve(&inst, &exact_params(inst.n(), 4, 5)).unwrap();
     assert_eq!(out.replacement, oracle);
     assert!(out.replacement.iter().all(|d| d.is_finite()));
 
     // Pure path: no replacement exists at all.
     let (g2, s2, t2) = planted_path_digraph(10, 9, 0, 0);
     let inst2 = Instance::from_endpoints(&g2, s2, t2).unwrap();
-    let out2 = unweighted::solve(&inst2, &exact_params(inst2.n(), 4, 6));
+    let out2 = unweighted::solve(&inst2, &exact_params(inst2.n(), 4, 6)).unwrap();
     assert!(out2.replacement.iter().all(|&d| d == Dist::INF));
 }
 
@@ -96,7 +96,7 @@ fn default_sampling_rate_works_on_midsize_instance() {
     let (g, s, t) = planted_path_digraph(300, 80, 900, 12);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst).with_seed(1);
-    let out = unweighted::solve(&inst, &params);
+    let out = unweighted::solve(&inst, &params).unwrap();
     assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
 }
 
@@ -111,7 +111,7 @@ fn arbitrary_random_digraphs_via_extracted_paths() {
         if inst.hops() < 2 {
             continue;
         }
-        let out = unweighted::solve(&inst, &exact_params(inst.n(), 6, seed));
+        let out = unweighted::solve(&inst, &exact_params(inst.n(), 6, seed)).unwrap();
         assert_eq!(
             out.replacement,
             replacement_lengths(&g, &inst.path),
@@ -129,8 +129,8 @@ fn theorem1_beats_mr24_when_h_is_large() {
     let n = inst.n();
     let mut params = Params::for_n(n).with_seed(4);
     params.landmark_prob = ((n as f64).ln() / params.zeta as f64).min(1.0);
-    let ours = unweighted::solve(&inst, &params);
-    let mr = baseline::mr24::solve(&inst, &params);
+    let ours = unweighted::solve(&inst, &params).unwrap();
+    let mr = baseline::mr24::solve(&inst, &params).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
     assert_eq!(ours.replacement, oracle);
     assert_eq!(mr.replacement, oracle);

@@ -20,7 +20,7 @@ fn usable_instance(
 
 fn check(g: &graphkit::DiGraph, s: usize, t: usize, params: &Params) {
     let inst = Instance::from_endpoints(g, s, t).unwrap();
-    let out = weighted::solve(&inst, params);
+    let out = weighted::solve(&inst, params).unwrap();
     let oracle = replacement_lengths(g, &inst.path);
     out.check_guarantee(&oracle, params.eps_num, params.eps_den)
         .unwrap_or_else(|e| panic!("{e}"));
@@ -62,7 +62,7 @@ fn weighted_solver_is_exactly_right_on_unweighted_input() {
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let mut params = Params::with_zeta(inst.n(), 5);
     params.landmark_prob = 1.0;
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
     out.check_guarantee(&oracle, params.eps_num, params.eps_den)
         .unwrap();
@@ -82,7 +82,7 @@ fn heavy_single_edge_detours_are_found() {
     assert_eq!(inst.hops(), 7);
     let mut params = Params::with_zeta(8, 2); // tiny ζ: many intervals
     params.landmark_prob = 1.0;
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
     assert!(oracle.iter().all(|d| d.finite() == Some(100)));
     out.check_guarantee(&oracle, params.eps_num, params.eps_den)
@@ -96,7 +96,7 @@ fn default_parameters_on_midsize_weighted_instance() {
     };
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst).with_seed(2);
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).unwrap();
     let oracle = replacement_lengths(&g, &inst.path);
     out.check_guarantee(&oracle, params.eps_num, params.eps_den)
         .unwrap();

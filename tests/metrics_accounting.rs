@@ -12,7 +12,7 @@ fn theorem1_reports_its_documented_phases() {
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let mut params = Params::with_zeta(60, 6);
     params.landmark_prob = 1.0;
-    let out = unweighted::solve(&inst, &params);
+    let out = unweighted::solve(&inst, &params).unwrap();
     let m = &out.metrics;
     // One phase per documented stage, each with nonzero rounds.
     for needle in [
@@ -46,7 +46,7 @@ fn weighted_solver_runs_one_bfs_pair_per_scale() {
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let mut params = Params::with_zeta(inst.n(), 4);
     params.landmark_prob = 1.0;
-    let out = weighted::solve(&inst, &params);
+    let out = weighted::solve(&inst, &params).unwrap();
     let ends = out
         .metrics
         .phases
@@ -72,7 +72,7 @@ fn every_message_respects_the_declared_bandwidth() {
     let (g, s, t) = planted_path_digraph(120, 30, 300, 4);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
     let params = Params::for_instance(&inst).with_seed(8);
-    let out = unweighted::solve(&inst, &params);
+    let out = unweighted::solve(&inst, &params).unwrap();
     let n = inst.n() as u64;
     let default_bandwidth = 8 * congest::word_bits(n) + 32;
     assert!(out.metrics.total.max_message_bits <= default_bandwidth);
@@ -90,7 +90,7 @@ fn tight_custom_bandwidth_is_accepted_when_sufficient() {
     params.landmark_prob = 1.0;
     let n = inst.n() as u64;
     let mut net = Network::new(&g).with_bandwidth(3 * congest::word_bits(n) + 8);
-    let replacement = unweighted::solve_on(&mut net, &inst, &params);
+    let replacement = unweighted::solve_on(&mut net, &inst, &params).unwrap();
     let oracle = graphkit::alg::replacement_lengths(&g, &inst.path);
     assert_eq!(replacement, oracle);
 }
@@ -99,7 +99,7 @@ fn tight_custom_bandwidth_is_accepted_when_sufficient() {
 fn naive_baseline_charges_one_bfs_per_edge() {
     let (g, s, t) = parallel_lane(9, 3, 1);
     let inst = Instance::from_endpoints(&g, s, t).unwrap();
-    let out = baseline::naive::solve(&inst, &Params::for_instance(&inst));
+    let out = baseline::naive::solve(&inst, &Params::for_instance(&inst)).unwrap();
     let bfs_phases = out
         .metrics
         .phases
@@ -116,8 +116,8 @@ fn mr24_fat_broadcast_dwarfs_ours_in_messages() {
     let n = inst.n();
     let mut params = Params::for_n(n).with_seed(6);
     params.landmark_prob = ((n as f64).ln() / params.zeta as f64).min(1.0);
-    let ours = unweighted::solve(&inst, &params).metrics;
-    let mr = baseline::mr24::solve(&inst, &params).metrics;
+    let ours = unweighted::solve(&inst, &params).unwrap().metrics;
+    let mr = baseline::mr24::solve(&inst, &params).unwrap().metrics;
     let ours_bc = ours.phase_total("long/broadcast").messages;
     let mr_bc = mr.phase_total("fat-broadcast").messages;
     assert!(

@@ -100,7 +100,7 @@ proptest! {
     ) {
         let g = random_digraph(n, 2 * n, seed);
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, 0);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
         let items: Vec<Vec<u64>> = (0..n)
             .map(|v| (0..per_node).map(|j| (v * 10 + j) as u64).collect())
             .collect();
@@ -224,7 +224,7 @@ proptest! {
             (AggOp::Sum, values.iter().copied().sum()),
         ] {
             let mut net = Network::new(&g);
-            let (tree, _) = build_bfs_tree(&mut net, seed as usize % n);
+            let (tree, _) = build_bfs_tree(&mut net, seed as usize % n).unwrap();
             prop_assert_eq!(aggregate(&mut net, &tree, op, &values), expect);
         }
     }
@@ -266,6 +266,105 @@ proptest! {
     }
 
     #[test]
+    fn until_quiet_parallel_agrees_on_quiescence_and_stats(
+        n in 4usize..40,
+        density in 1usize..4,
+        threads in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        // `run_until_quiet` (threads = 1 is the sequential drive) and
+        // `run_until_quiet_par` must agree on the quiescence round and
+        // every RunStats field for the newly migrated quiescence-driven
+        // protocols: BFS-tree construction and tree aggregation. Sparse
+        // densities also cover the disconnected case, where both paths
+        // must report the identical recoverable error.
+        let g = random_digraph(n, density * n, seed);
+        let root = seed as usize % n;
+        let mut seq_net = Network::new(&g);
+        seq_net.set_threads(1);
+        let mut par_net = Network::new(&g);
+        par_net.set_threads(threads);
+        par_net.set_parallel_threshold(0);
+        match (
+            build_bfs_tree(&mut seq_net, root),
+            build_bfs_tree(&mut par_net, root),
+        ) {
+            (Ok((ts, ss)), Ok((tp, sp))) => {
+                prop_assert_eq!(ss, sp); // rounds = the quiescence round
+                prop_assert_eq!(&ts.depth, &tp.depth);
+                prop_assert_eq!(&ts.parent, &tp.parent);
+                prop_assert_eq!(&ts.child_ports, &tp.child_ports);
+                let values: Vec<Dist> = (0..n)
+                    .map(|v| {
+                        if (v + seed as usize).is_multiple_of(5) {
+                            Dist::INF
+                        } else {
+                            Dist::new((v as u64 * 13 + seed) % 257)
+                        }
+                    })
+                    .collect();
+                for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+                    let rs = aggregate(&mut seq_net, &ts, op, &values);
+                    let rp = aggregate(&mut par_net, &tp, op, &values);
+                    prop_assert_eq!(rs, rp);
+                }
+                // The cumulative logs pin every phase's rounds/messages/
+                // bits — quiescence rounds included.
+                prop_assert_eq!(seq_net.metrics(), par_net.metrics());
+            }
+            (Err(es), Err(ep)) => prop_assert_eq!(es, ep),
+            (seq, par) => {
+                return Err(TestCaseError(format!(
+                    "engines disagree on connectivity: seq ok = {}, par ok = {}",
+                    seq.is_ok(),
+                    par.is_ok()
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn migrated_pipelines_have_parallel_parity(
+        len in 2usize..16,
+        jobs in 1usize..6,
+        threads in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        // The newly migrated pipeline protocols (prefix sweeps and the
+        // systolic DP) must produce bit-identical outputs and stats on
+        // the parallel path at any thread count.
+        let mut b = GraphBuilder::new(len);
+        let links: Vec<usize> = (0..len - 1).map(|i| b.add_arc(i, i + 1)).collect();
+        let g = b.build();
+        let lane = Lane::forward((0..len).collect(), links);
+        let val = |pos: usize, job: usize| ((pos as u64 * 11 + job as u64 * 5 + seed) % 43) + 1;
+        let run = |t: usize| {
+            let mut net = Network::new(&g);
+            net.set_threads(t);
+            if t > 1 {
+                net.set_parallel_threshold(0);
+            }
+            let sweep = prefix_sweep(
+                &mut net,
+                std::slice::from_ref(&lane),
+                jobs,
+                &|_, pos, job| Dist::new(val(pos, job)),
+                "sweep",
+            );
+            let dp = diagonal_dp(
+                &mut net,
+                &lane,
+                |p| Dist::new(val(p, 0)),
+                &|p, r| Dist::new(val(p, r as usize)),
+                jobs as u64,
+                "dp",
+            );
+            (sweep, dp, net.metrics().clone())
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
+
+    #[test]
     fn bfs_tree_depths_are_undirected_distances(
         n in 2usize..60,
         seed in 0u64..500,
@@ -273,7 +372,7 @@ proptest! {
         let g = random_digraph(n, 2 * n, seed);
         let root = seed as usize % n;
         let mut net = Network::new(&g);
-        let (tree, _) = build_bfs_tree(&mut net, root);
+        let (tree, _) = build_bfs_tree(&mut net, root).unwrap();
         // Centralized undirected BFS.
         let mut dist = vec![usize::MAX; n];
         let mut q = std::collections::VecDeque::new();

@@ -31,7 +31,7 @@ proptest! {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(n, zeta).with_seed(seed);
         params.landmark_prob = 1.0;
-        let out = unweighted::solve(&inst, &params);
+        let out = unweighted::solve(&inst, &params).unwrap();
         prop_assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
     }
 
@@ -46,7 +46,7 @@ proptest! {
         let inst = Instance::from_endpoints(&g, s, t).unwrap();
         let mut params = Params::with_zeta(inst.n(), zeta);
         params.landmark_prob = 1.0;
-        let out = unweighted::solve(&inst, &params);
+        let out = unweighted::solve(&inst, &params).unwrap();
         prop_assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
     }
 
@@ -67,7 +67,7 @@ proptest! {
         let inst = Instance::new(&g, p).unwrap();
         let mut params = Params::with_zeta(30, zeta).with_seed(seed);
         params.landmark_prob = 1.0;
-        let out = weighted::solve(&inst, &params);
+        let out = weighted::solve(&inst, &params).unwrap();
         let oracle = replacement_lengths(&g, &inst.path);
         prop_assert!(out.check_guarantee(&oracle, params.eps_num, params.eps_den).is_ok());
     }
