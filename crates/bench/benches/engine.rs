@@ -18,7 +18,11 @@
 //! Besides the Criterion timings, the bench writes `BENCH_engine.json`
 //! at the repo root with rounds-per-second for both schedules and for
 //! thread counts {1, 2, 4, 8} so the perf trajectory is tracked across
-//! PRs. Since every protocol now runs on the sharded engine, the report
+//! PRs; each section carries the measuring host's CPU count. A
+//! `work_balance` section sweeps degree-skewed topologies (star,
+//! power-law) where degree-balanced shard boundaries earn their keep.
+//! Set `BENCH_ENGINE_SMOKE=1` for a seconds-scale CI smoke run that
+//! exercises every measurement path but skips the JSON write. Since every protocol now runs on the sharded engine, the report
 //! also carries **end-to-end solver rows** (Theorem 1, 2-SiSP, and the
 //! MR24 baseline on Table 1-style planted-path workloads) — the perf
 //! trajectory measures what the paper measures, not just one kernel.
@@ -143,19 +147,53 @@ struct ParallelReport {
     speedup_vs_sequential: f64,
 }
 
+/// A group of schedule-comparison rows, stamped with the CPUs that were
+/// available when *this section* was measured (sections can in
+/// principle be re-recorded on different hosts, so each carries its
+/// own).
+#[derive(Debug, Serialize)]
+struct WorkloadSection {
+    host_cpus: usize,
+    rows: Vec<WorkloadReport>,
+}
+
+/// A group of thread-sweep rows, stamped with the measuring host's CPU
+/// count. Parallel speedups are bounded by it: on a 1-CPU host every
+/// thread count time-slices one core, so `speedup_vs_sequential` can
+/// only show the fan-out overhead, not the scaling.
+#[derive(Debug, Serialize)]
+struct ParallelSection {
+    host_cpus: usize,
+    rows: Vec<ParallelReport>,
+}
+
 #[derive(Debug, Serialize)]
 struct EngineReport {
     bench: String,
-    /// CPUs available to the measurement host. Parallel speedups are
-    /// bounded by this: on a 1-CPU host every thread count time-slices
-    /// one core, so `speedup_vs_sequential` can only show the fan-out
-    /// overhead, not the scaling (run on a multi-core host for that).
+    /// CPUs on the host that wrote the report (sections repeat this so
+    /// they stay meaningful if re-recorded independently).
     host_cpus: usize,
-    workloads: Vec<WorkloadReport>,
-    parallel: Vec<ParallelReport>,
+    workloads: WorkloadSection,
+    parallel: ParallelSection,
+    /// Degree-skewed topologies (star, power-law): the workloads where
+    /// degree-balanced shard boundaries matter most — a node-count
+    /// split would strand nearly all traffic in one shard.
+    work_balance: ParallelSection,
     /// End-to-end solver runs (all phases on the sharded engine): the
     /// Table 1 quantities, per thread count.
-    end_to_end: Vec<ParallelReport>,
+    end_to_end: ParallelSection,
+}
+
+/// CPUs available to this process.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// `BENCH_ENGINE_SMOKE=1` shrinks every workload to seconds-scale sizes
+/// and skips the `BENCH_engine.json` write — a CI-friendly check that
+/// the measurement paths (including the parallel fan-out) actually run.
+fn smoke() -> bool {
+    std::env::var("BENCH_ENGINE_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// One full Theorem 1 solve; returns simulated rounds.
@@ -250,11 +288,13 @@ fn measure_parallel(
 }
 
 fn bench_engine(c: &mut Criterion) {
+    let smoke = smoke();
     let mut reports = Vec::new();
 
     let mut group = c.benchmark_group("engine_sparse_line_bfs");
     group.sample_size(10);
-    for &n in &[1024usize, 4096, 8192] {
+    let line_sizes: &[usize] = if smoke { &[256] } else { &[1024, 4096, 8192] };
+    for &n in line_sizes {
         let g = line(n);
         group.bench_with_input(BenchmarkId::new("full_sweep", n), &n, |b, _| {
             b.iter(|| run_line_bfs(&g, true));
@@ -270,7 +310,8 @@ fn bench_engine(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("engine_dense_broadcast");
     group.sample_size(10);
-    for &n in &[512usize, 1024] {
+    let bc_sizes: &[usize] = if smoke { &[128] } else { &[512, 1024] };
+    for &n in bc_sizes {
         let g = random_digraph(n, 4 * n, 7);
         group.bench_with_input(BenchmarkId::new("full_sweep", n), &n, |b, _| {
             b.iter(|| run_dense_broadcast(&g, true));
@@ -286,9 +327,10 @@ fn bench_engine(c: &mut Criterion) {
 
     // Sharded-parallel speedups (all bit-exact with sequential runs).
     let mut parallel = Vec::new();
+    let par_sizes: &[usize] = if smoke { &[256] } else { &[1024, 4096, 8192] };
     let mut group = c.benchmark_group("engine_parallel_dense_broadcast");
     group.sample_size(2);
-    for &n in &[1024usize, 4096, 8192] {
+    for &n in par_sizes {
         let g = random_digraph(n, 4 * n, 7);
         if n == 4096 {
             for &threads in &[1usize, 4] {
@@ -310,7 +352,7 @@ fn bench_engine(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("engine_parallel_dense_multi_bfs");
     group.sample_size(2);
-    for &n in &[1024usize, 4096, 8192] {
+    for &n in par_sizes {
         let g = random_digraph(n, 6 * n, 9);
         if n == 4096 {
             for &threads in &[1usize, 4] {
@@ -331,11 +373,32 @@ fn bench_engine(c: &mut Criterion) {
 
     // Sparse workloads with the auto-fallback: thread count must not
     // regress the active-set engine.
-    for &n in &[4096usize, 8192] {
+    let fb_sizes: &[usize] = if smoke { &[512] } else { &[4096, 8192] };
+    for &n in fb_sizes {
         let g = line(n);
         parallel.extend(measure_parallel("sparse_line_bfs_fallback", n, 3, |t| {
             run_line_bfs_threads(&g, t)
         }));
+    }
+
+    // Degree-skewed topologies: how well degree-balanced shard
+    // boundaries spread hub-heavy work across workers. On the star,
+    // every message touches node 0; on preferential attachment, a few
+    // early nodes carry most of the degree.
+    let mut work_balance = Vec::new();
+    let wb_n = if smoke { 256 } else { 4096 };
+    {
+        let g = graphkit::gen::star(wb_n);
+        work_balance.extend(measure_parallel("work_balance_star_mbfs", wb_n, 2, |t| {
+            run_multi_bfs_threads(&g, t)
+        }));
+        let g = graphkit::gen::power_law_digraph(wb_n, 11);
+        work_balance.extend(measure_parallel(
+            "work_balance_power_law_mbfs",
+            wb_n,
+            2,
+            |t| run_multi_bfs_threads(&g, t),
+        ));
     }
 
     // End-to-end solver rows on Table 1-style workloads: every phase of
@@ -344,7 +407,8 @@ fn bench_engine(c: &mut Criterion) {
     let mut end_to_end = Vec::new();
     let mut group = c.benchmark_group("engine_e2e_solvers");
     group.sample_size(2);
-    for &n in &[128usize, 256, 512] {
+    let e2e_sizes: &[usize] = if smoke { &[64] } else { &[128, 256, 512] };
+    for &n in e2e_sizes {
         let case = random_case(n, n / 8, 5);
         let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
         let params = bench_params(n, 5);
@@ -376,13 +440,31 @@ fn bench_engine(c: &mut Criterion) {
     }
     group.finish();
 
+    let cpus = host_cpus();
     let report = EngineReport {
         bench: "engine".to_string(),
-        host_cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
-        workloads: reports,
-        parallel,
-        end_to_end,
+        host_cpus: cpus,
+        workloads: WorkloadSection {
+            host_cpus: cpus,
+            rows: reports,
+        },
+        parallel: ParallelSection {
+            host_cpus: cpus,
+            rows: parallel,
+        },
+        work_balance: ParallelSection {
+            host_cpus: cpus,
+            rows: work_balance,
+        },
+        end_to_end: ParallelSection {
+            host_cpus: cpus,
+            rows: end_to_end,
+        },
     };
+    if smoke {
+        println!("smoke mode: skipping BENCH_engine.json write");
+        return;
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     std::fs::write(path, json).expect("write BENCH_engine.json");

@@ -78,10 +78,13 @@ impl From<EngineError> for TreeError {
     }
 }
 
+/// Wire format: depth is u32 (tree depth is bounded by `n - 1 <
+/// u32::MAX` nodes), keeping the message at 8 bytes on the engine's
+/// hot path; the declared [`word_bits`] size is unchanged.
 #[derive(Clone, Copy, Debug)]
 enum TreeMsg {
     /// "I am at depth d; join me."
-    Join { depth: u64 },
+    Join { depth: u32 },
     /// "You are my parent."
     Adopt,
 }
@@ -95,7 +98,7 @@ struct TreeShared {
 /// slices of these from worker threads).
 #[derive(Clone)]
 struct TreeNode {
-    depth: Option<u64>,
+    depth: Option<u32>,
     parent_port: Option<u32>,
     child_ports: Vec<u32>,
 }
@@ -112,7 +115,7 @@ impl ShardedProtocol for TreeProtocol {
 
     fn msg_bits(_: &TreeShared, msg: &TreeMsg) -> u64 {
         match msg {
-            TreeMsg::Join { depth } => 1 + word_bits(*depth),
+            TreeMsg::Join { depth } => 1 + word_bits(*depth as u64),
             TreeMsg::Adopt => 1,
         }
     }
@@ -207,7 +210,7 @@ pub fn build_bfs_tree(
         match node.depth {
             Some(d) => {
                 joined += 1;
-                depth.push(d);
+                depth.push(d as u64);
             }
             None => {
                 if witness.is_none() {

@@ -49,18 +49,22 @@
 //!   state into a `Sync` shared part and a per-node slice
 //!   ([`ShardedProtocol`]) can be driven through
 //!   [`Network::run_rounds_par`] / [`Network::run_until_quiet_par`]:
-//!   worker threads (std scoped threads, no unsafe) step disjoint
-//!   contiguous node shards, staging sends into shard-local buffers.
-//!   Buffers are concatenated in ascending shard order before the
-//!   commit phase, so the counting sort consumes the exact send order a
-//!   sequential run would produce — per-destination inbox order is
-//!   therefore bit-identical by construction, not by luck. The commit
-//!   phase's independent passes parallelize the same way (per-shard
-//!   message derivation/accounting with an ordered merge, then arena
-//!   materialization over disjoint slot ranges). Rounds stepping fewer
-//!   nodes than a work threshold run sequentially, so sparse active-set
-//!   workloads never regress; thread count comes from the
-//!   `CONGEST_THREADS` environment variable or [`Network::set_threads`].
+//!   worker threads (std scoped threads, no unsafe) execute a
+//!   three-phase pipeline over disjoint contiguous node shards whose
+//!   boundaries are degree-balanced (prefix sums of `1 + deg(v)`), so
+//!   hub-heavy topologies don't serialize on one hot shard. Workers
+//!   step their shards and derive all per-message bookkeeping
+//!   shard-locally — CONGEST checks, bit accounting, destination
+//!   histograms, and a shard-local counting sort; the main thread
+//!   merges histograms in ascending shard order (reproducing the exact
+//!   sequential first-touch destination order) and prefix-scans the
+//!   arena layout; workers then gather disjoint inbox ranges — so
+//!   per-destination inbox order is bit-identical by construction, not
+//!   by luck. Whether a round fans out at all is decided by an adaptive
+//!   cost model (EWMA of measured sequential vs parallel round cost,
+//!   reported as [`DispatchStats`]), so sparse active-set workloads
+//!   never regress; thread count comes from the `CONGEST_THREADS`
+//!   environment variable or [`Network::set_threads`].
 //!
 //! **Invariant:** scheduling and parallelism are wall-clock
 //! optimizations with no effect on the measured model quantities.
@@ -106,7 +110,7 @@ pub mod multi_bfs;
 mod network;
 pub mod pipeline;
 
-pub use metrics::{Metrics, PhaseStats, RunStats};
+pub use metrics::{DispatchStats, Metrics, PhaseStats, RunStats};
 pub use network::{
     word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, ShardedProtocol, Side,
 };

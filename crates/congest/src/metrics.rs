@@ -50,14 +50,53 @@ pub struct PhaseStats {
     pub stats: RunStats,
 }
 
+/// Telemetry from the engine's adaptive sequential/parallel dispatcher.
+///
+/// Pure wall-clock bookkeeping: how rounds were routed and what the
+/// cost model currently believes. Unlike [`RunStats`], none of this is
+/// part of a run's deterministic outcome — two bit-identical runs at
+/// different thread counts legitimately dispatch differently — so
+/// [`Metrics`] equality deliberately ignores it.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DispatchStats {
+    /// Rounds executed on the parallel three-phase pipeline.
+    pub par_rounds: u64,
+    /// Contested rounds (at or above the work floor) the cost model
+    /// routed to the sequential path.
+    pub seq_rounds: u64,
+    /// Rounds below the work floor, sequential without consulting the
+    /// cost model.
+    pub floor_rounds: u64,
+    /// Latest EWMA estimate of sequential nanoseconds per unit of work
+    /// (0 when never measured).
+    pub ewma_seq_ns_per_unit: f64,
+    /// Latest EWMA estimate of parallel nanoseconds per unit of work
+    /// (0 when never measured).
+    pub ewma_par_ns_per_unit: f64,
+}
+
 /// Cumulative metrics for a [`crate::Network`] across all phases.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Metrics {
     /// Aggregate over all phases.
     pub total: RunStats,
     /// Per-phase breakdown, in execution order.
     pub phases: Vec<PhaseStats>,
+    /// Adaptive-dispatch telemetry (excluded from equality; see
+    /// [`DispatchStats`]).
+    pub dispatch: DispatchStats,
 }
+
+/// Equality covers the deterministic accounting only (`total` and
+/// `phases`); [`Metrics::dispatch`] is wall-clock telemetry that may
+/// differ between bit-identical runs.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Metrics) -> bool {
+        self.total == other.total && self.phases == other.phases
+    }
+}
+
+impl Eq for Metrics {}
 
 impl Metrics {
     /// Records a finished phase.
@@ -67,6 +106,21 @@ impl Metrics {
             name: name.into(),
             stats,
         });
+    }
+
+    /// Accumulates dispatcher telemetry from one drive: round counters
+    /// add up, EWMA estimates are replaced by the latest measured
+    /// (non-zero) model state.
+    pub fn record_dispatch(&mut self, d: DispatchStats) {
+        self.dispatch.par_rounds += d.par_rounds;
+        self.dispatch.seq_rounds += d.seq_rounds;
+        self.dispatch.floor_rounds += d.floor_rounds;
+        if d.ewma_seq_ns_per_unit != 0.0 {
+            self.dispatch.ewma_seq_ns_per_unit = d.ewma_seq_ns_per_unit;
+        }
+        if d.ewma_par_ns_per_unit != 0.0 {
+            self.dispatch.ewma_par_ns_per_unit = d.ewma_par_ns_per_unit;
+        }
     }
 
     /// Total rounds across all phases.
@@ -85,6 +139,8 @@ impl Metrics {
         self.total.absorb(&other.total);
         other.total = RunStats::default();
         self.phases.append(&mut other.phases);
+        self.record_dispatch(other.dispatch);
+        other.dispatch = DispatchStats::default();
     }
 
     /// Looks up the accumulated stats of all phases whose name contains

@@ -44,11 +44,16 @@ pub struct MultiBfsConfig<'a> {
     pub delays: Option<&'a [u64]>,
 }
 
+/// Wire format: both fields are u32 so an announcement is 8 bytes, not
+/// 16 — halving staging/arena traffic on the hot path. Hop distances
+/// are bounded by `max_dist` (asserted `< u32::MAX` at entry) and
+/// source indices by `k <= n`, so the narrowing is lossless and the
+/// declared [`word_bits`] sizes are unchanged.
 #[derive(Clone, Copy, Debug)]
 struct Announce {
     src: u32,
     /// Sender's distance at send time; receiver adds the edge delay.
-    dist: u64,
+    dist: u32,
 }
 
 /// Read-only per-run state shared by every node.
@@ -60,15 +65,16 @@ struct MbfsShared<'c, F> {
 /// One node's BFS state (sharded: the engine steps disjoint slices of
 /// these from worker threads).
 struct MbfsNode {
-    /// best[src]
-    best: Vec<u64>,
+    /// best[src]; `u32::MAX` is the "unreached" sentinel (real
+    /// distances are capped at `max_dist < u32::MAX`).
+    best: Vec<u32>,
     /// Per port: announcements waiting for this link, smallest distance
     /// first. Entries are (dist_at_sender, src).
-    queues: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    queues: Vec<BinaryHeap<Reverse<(u32, u32)>>>,
     /// Announcements received over a delayed edge, held until the round
     /// at which the subdivided path would deliver them:
     /// (release_round, src, dist_at_receiver).
-    held: Vec<(u64, u32, u64)>,
+    held: Vec<(u64, u32, u32)>,
     /// Queued announcements across all port queues (the node's
     /// activation signal and quiescence witness).
     pending: u64,
@@ -92,11 +98,11 @@ fn relax<F: Fn(EdgeId) -> bool>(
     shared: &MbfsShared<'_, F>,
     node: &mut MbfsNode,
     src: u32,
-    dist: u64,
+    dist: u32,
     ports: &[Port],
 ) {
     let cfg = shared.cfg;
-    if dist > cfg.max_dist || dist >= node.best[src as usize] {
+    if dist as u64 > cfg.max_dist || dist >= node.best[src as usize] {
         return;
     }
     node.best[src as usize] = dist;
@@ -110,7 +116,7 @@ fn relax<F: Fn(EdgeId) -> bool>(
             continue;
         }
         let w = delay_of(cfg, port.link);
-        if w == 0 || dist + w > cfg.max_dist {
+        if w == 0 || dist as u64 + w > cfg.max_dist {
             continue;
         }
         node.queues[pi].push(Reverse((dist, src)));
@@ -124,7 +130,7 @@ impl<'c, F: Fn(EdgeId) -> bool + Sync> ShardedProtocol for MultiBfsProtocol<'c, 
     type Shared = MbfsShared<'c, F>;
 
     fn msg_bits(_: &Self::Shared, msg: &Announce) -> u64 {
-        word_bits(msg.src as u64) + word_bits(msg.dist)
+        word_bits(msg.src as u64) + word_bits(msg.dist as u64)
     }
 
     fn shared(&self) -> &Self::Shared {
@@ -151,7 +157,9 @@ impl<'c, F: Fn(EdgeId) -> bool + Sync> ShardedProtocol for MultiBfsProtocol<'c, 
             let port = ports[port_idx as usize];
             let w = delay_of(shared.cfg, port.link);
             debug_assert!(w >= 1, "received over a disabled edge");
-            let arrived = ann.dist + w;
+            // The sender only forwards when dist + w <= max_dist, so
+            // the sum fits u32 (max_dist < u32::MAX is asserted).
+            let arrived = (ann.dist as u64 + w) as u32;
             if w == 1 {
                 relax(shared, node, ann.src, arrived, ports);
             } else {
@@ -226,6 +234,11 @@ pub fn multi_source_bfs(
 ) -> Result<(Vec<Vec<Dist>>, RunStats), crate::EngineError> {
     let n = net.node_count();
     let k = cfg.sources.len();
+    assert!(
+        cfg.max_dist < u32::MAX as u64,
+        "max_dist {} does not fit the u32 hop-distance encoding",
+        cfg.max_dist
+    );
     // Each port queue holds at most one live announcement per source and
     // each held list at most one delayed arrival per source, so `k` is
     // the natural pre-reservation for both.
@@ -233,7 +246,7 @@ pub fn multi_source_bfs(
         shared: MbfsShared { cfg, enabled },
         nodes: (0..n)
             .map(|v| MbfsNode {
-                best: vec![u64::MAX; k],
+                best: vec![u32::MAX; k],
                 queues: (0..net.ports(v).len())
                     .map(|_| BinaryHeap::with_capacity(k))
                     .collect(),
@@ -246,8 +259,8 @@ pub fn multi_source_bfs(
     let mut out = vec![vec![Dist::INF; n]; k];
     for (v, node) in proto.nodes.iter().enumerate() {
         for s in 0..k {
-            if node.best[s] != u64::MAX {
-                out[s][v] = Dist::new(node.best[s]);
+            if node.best[s] != u32::MAX {
+                out[s][v] = Dist::new(node.best[s] as u64);
             }
         }
     }

@@ -15,27 +15,54 @@
 //!   validity checks use monotonically increasing round generations, so
 //!   nothing is cleared between rounds or phases.
 //! - **Deterministic sharded parallelism**: protocols that store their
-//!   per-node state in a slice ([`ShardedProtocol`]) are stepped by
-//!   worker threads over disjoint contiguous node shards
-//!   ([`Network::run_rounds_par`] / [`Network::run_until_quiet_par`]).
-//!   Each worker stages its sends into a shard-local buffer; buffers are
-//!   concatenated in ascending shard order before the commit phase, so
-//!   the global send order — and therefore the counting-sorted
-//!   per-destination inbox order — is bit-identical to a sequential run.
-//!   Rounds whose step count falls below a work threshold run
-//!   sequentially, so sparse active-set workloads never pay the
-//!   fan-out/join cost.
+//!   per-node state in a slice ([`ShardedProtocol`]) are executed by a
+//!   three-phase pipeline ([`Network::run_rounds_par`] /
+//!   [`Network::run_until_quiet_par`]) over disjoint contiguous node
+//!   shards whose boundaries are *degree-balanced*: shard `k` ends
+//!   where the prefix sum of `1 + deg(v)` reaches its share of the
+//!   total, so a star or power-law hub no longer serializes one hot
+//!   shard ([`Network::set_shard_bounds`] overrides the geometry).
 //!
-//! All three are pure wall-clock optimizations: the delivered messages,
-//! their per-destination order, and all [`RunStats`] accounting are
-//! bit-exact with a sequential full sweep (asserted by
-//! `tests/engine_equivalence.rs` across schedules and thread counts).
+//! The parallel pipeline runs each round in three phases:
+//!
+//! 1. **Step + derive** (workers): each worker steps its shard, staging
+//!    sends into a shard-local buffer, then runs the per-message
+//!    derivation — bandwidth check, bit and cut accounting, the CONGEST
+//!    one-message-per-link-direction check (shard-local, because a link
+//!    direction is owned by exactly one sender and a sender lives in
+//!    exactly one shard), a per-destination histogram, and a shard-local
+//!    stable counting sort by destination.
+//! 2. **Merge + scan** (main thread): shard histograms are merged in
+//!    ascending shard order — reproducing the exact sequential
+//!    first-touch destination order — and an exclusive prefix scan
+//!    assigns every destination its contiguous inbox slice in the
+//!    arena.
+//! 3. **Gather** (workers): destinations are partitioned into
+//!    message-count-balanced ranges; each worker materializes its
+//!    ranges' inbox slices by walking the shard-local sort orders in
+//!    ascending shard order, so every arena entry is identical to the
+//!    sequential counting sort's.
+//!
+//! Whether a round takes the parallel pipeline or the sequential commit
+//! is decided per round by an adaptive cost model: rounds below a work
+//! floor stay sequential outright, and contested rounds are timed, with
+//! EWMA estimates of sequential vs parallel nanoseconds per unit of
+//! work picking the predicted-cheaper path (probing the other one
+//! occasionally so the estimates track phase changes). The decision is
+//! recorded as [`DispatchStats`] telemetry in [`Metrics`] and never
+//! affects results — only wall-clock.
+//!
+//! All of these are pure wall-clock optimizations: the delivered
+//! messages, their per-destination order, and all [`RunStats`]
+//! accounting are bit-exact with a sequential full sweep (asserted by
+//! `tests/engine_equivalence.rs` across schedules, thread counts, and
+//! shard geometries).
 
 use std::fmt;
 
 use graphkit::{DiGraph, EdgeId, NodeId};
 
-use crate::metrics::{Metrics, RunStats};
+use crate::metrics::{DispatchStats, Metrics, RunStats};
 
 /// Number of bits needed to write `x` in binary (`0 -> 1` bit).
 ///
@@ -341,6 +368,12 @@ struct EngineScratch {
     recv_ports: Vec<u32>,
     /// Stable counting-sort permutation (arena slot -> staging index).
     order: Vec<u32>,
+    /// Inclusive prefix sum of per-destination counts over `touched`
+    /// (length `touched.len() + 1`), used to balance the gather phase.
+    touched_prefix: Vec<u64>,
+    /// Per-shard worker scratch for the parallel pipeline, persisted
+    /// across rounds and drives like everything else here.
+    shard_scratch: Vec<ShardScratch>,
 }
 
 impl EngineScratch {
@@ -360,7 +393,100 @@ impl EngineScratch {
             dests: Vec::new(),
             recv_ports: Vec::new(),
             order: Vec::new(),
+            touched_prefix: Vec::new(),
+            shard_scratch: Vec::new(),
         }
+    }
+
+    /// Guarantees at least `shards` per-shard scratches, each with
+    /// node-indexed arrays of length `n`. New entries are zeroed, which
+    /// the generation stamping treats as "never valid".
+    fn ensure_shards(&mut self, shards: usize, n: usize) {
+        if self.shard_scratch.len() < shards {
+            self.shard_scratch.resize_with(shards, ShardScratch::new);
+        }
+        for scr in &mut self.shard_scratch[..shards] {
+            if scr.count_stamp.len() < n {
+                scr.count_stamp.resize(n, 0);
+                scr.local_count.resize(n, 0);
+                scr.local_start.resize(n, 0);
+            }
+        }
+    }
+}
+
+/// Non-generic scratch owned by one worker shard, reused across rounds.
+///
+/// The node-indexed arrays (`count_stamp`/`local_count`/`local_start`)
+/// are validity-stamped by round generation like the global scratch, so
+/// nothing is cleared between rounds; the message-indexed vectors are
+/// rebuilt from empty each round but keep their capacity.
+struct ShardScratch {
+    /// Per staged message: destination node.
+    dests: Vec<u32>,
+    /// Per staged message: receiving port at the destination.
+    recv_ports: Vec<u32>,
+    /// Destinations first touched by this shard's sends, in send order.
+    touched: Vec<u32>,
+    /// Per destination: generation at which `local_count` is valid.
+    count_stamp: Vec<u64>,
+    /// Per destination: messages this shard sent to it this round.
+    local_count: Vec<u32>,
+    /// Per destination: placement cursor during the shard-local
+    /// counting sort; afterwards the *end* of the destination's run in
+    /// `order` (start = end - `local_count`).
+    local_start: Vec<u32>,
+    /// Shard-local stable counting-sort permutation
+    /// (run slot -> shard staging index).
+    order: Vec<u32>,
+    /// Per sender port index: `port_block` of the last staged send,
+    /// grown lazily to the widest port index seen. Detects duplicate
+    /// sends on one link direction: a direction is owned by exactly one
+    /// (sender, port) pair, and a sender's sends are consecutive in the
+    /// staging buffer, so a repeat port within one sender block is
+    /// exactly a CONGEST occupancy violation.
+    port_seen: Vec<u64>,
+    /// Monotone per-sender-block counter stamping `port_seen` (starts
+    /// at 1 so lazily-zeroed entries never collide).
+    port_block: u64,
+    /// Nodes in this shard that called [`NodeCtx::wake`], ascending.
+    woke: Vec<u32>,
+    /// Partial [`RunStats`] accounting for this shard's sends.
+    messages: u64,
+    bits: u64,
+    max_bits: u64,
+    cut_bits: u64,
+}
+
+impl ShardScratch {
+    fn new() -> ShardScratch {
+        ShardScratch {
+            dests: Vec::new(),
+            recv_ports: Vec::new(),
+            touched: Vec::new(),
+            count_stamp: Vec::new(),
+            local_count: Vec::new(),
+            local_start: Vec::new(),
+            order: Vec::new(),
+            port_seen: Vec::new(),
+            port_block: 0,
+            woke: Vec::new(),
+            messages: 0,
+            bits: 0,
+            max_bits: 0,
+            cut_bits: 0,
+        }
+    }
+
+    fn clear_round(&mut self) {
+        self.dests.clear();
+        self.recv_ports.clear();
+        self.touched.clear();
+        self.woke.clear();
+        self.messages = 0;
+        self.bits = 0;
+        self.max_bits = 0;
+        self.cut_bits = 0;
     }
 }
 
@@ -391,13 +517,21 @@ pub struct Network<'g> {
     scratch: EngineScratch,
     force_full_sweep: bool,
     pool: shardpool::Pool,
-    /// Minimum nodes stepped in a round before the step phase fans out.
+    /// Work floor: rounds below `step_count + delivered` stay on the
+    /// sequential path without consulting the cost model; `0` forces
+    /// the parallel pipeline on every round.
     par_node_threshold: usize,
-    /// Minimum staged messages before the arena fill fans out.
+    /// Minimum staged messages before the gather phase fans out.
     par_msg_threshold: usize,
     /// Explicit interior shard split points (testing/tuning); `None`
-    /// means even chunks of the node range.
+    /// means degree-balanced chunks of the node range.
     shard_bounds: Option<Vec<usize>>,
+    /// Prefix sum of per-node work weight `1 + deg(v)`; `deg_prefix[v]`
+    /// is the total weight of nodes `0..v`. Drives the default
+    /// degree-balanced shard boundaries.
+    deg_prefix: Vec<u64>,
+    /// Adaptive dispatch cost model, learned across drives.
+    dispatch: DispatchModel,
 }
 
 impl<'g> Network<'g> {
@@ -435,6 +569,11 @@ impl<'g> Network<'g> {
             });
         }
         let bandwidth = 8 * word_bits(n as u64) + 32;
+        let mut deg_prefix = Vec::with_capacity(n + 1);
+        deg_prefix.push(0u64);
+        for p in &ports {
+            deg_prefix.push(deg_prefix.last().unwrap() + 1 + p.len() as u64);
+        }
         Network {
             graph,
             ports,
@@ -448,6 +587,8 @@ impl<'g> Network<'g> {
             par_node_threshold: DEFAULT_PAR_NODE_THRESHOLD,
             par_msg_threshold: DEFAULT_PAR_MSG_THRESHOLD,
             shard_bounds: None,
+            deg_prefix,
+            dispatch: DispatchModel::default(),
         }
     }
 
@@ -486,11 +627,13 @@ impl<'g> Network<'g> {
         self.pool.threads()
     }
 
-    /// Sets the parallel work thresholds: rounds stepping fewer than
-    /// `nodes` nodes run sequentially, as do arena fills with fewer
-    /// than `4 * nodes` staged messages. `0` disables the fallback
-    /// (every eligible round fans out — used by the differential tests
-    /// to exercise parallelism on small graphs).
+    /// Sets the adaptive dispatcher's work floor: rounds whose work
+    /// (nodes stepped plus messages delivered) falls below `nodes` run
+    /// sequentially without consulting the cost model, and gather-phase
+    /// fan-out requires at least `4 * nodes` staged messages. `0`
+    /// disables the floor *and* the cost model — every eligible round
+    /// takes the parallel pipeline, which the differential tests use to
+    /// exercise parallelism deterministically on small graphs.
     pub fn set_parallel_threshold(&mut self, nodes: usize) {
         self.par_node_threshold = nodes;
         self.par_msg_threshold = 4 * nodes;
@@ -498,14 +641,30 @@ impl<'g> Network<'g> {
 
     /// Overrides the shard boundaries with explicit interior split
     /// points (strictly ascending, each in `1..n`); `None` restores
-    /// even chunking. Shard geometry never affects results — the
-    /// differential property tests randomize it to prove that.
+    /// degree-balanced chunking. Shard geometry never affects results —
+    /// the differential property tests randomize it to prove that.
     ///
     /// # Panics
     ///
-    /// The next parallel drive panics if the split points are not
-    /// strictly ascending within `1..n`.
+    /// Panics if any split point is out of range, duplicated, or out of
+    /// order; the message names the offending index.
     pub fn set_shard_bounds(&mut self, splits: Option<Vec<usize>>) {
+        if let Some(splits) = &splits {
+            let n = self.graph.node_count();
+            let mut prev = 0usize;
+            for (i, &s) in splits.iter().enumerate() {
+                assert!(
+                    s > prev,
+                    "shard split point #{i} ({s}) must exceed the previous split ({prev}): \
+                     split points are strictly ascending"
+                );
+                assert!(
+                    s < n,
+                    "shard split point #{i} ({s}) is out of range: interior splits lie in 1..{n}"
+                );
+                prev = s;
+            }
+        }
         self.shard_bounds = splits;
     }
 
@@ -758,16 +917,17 @@ impl<'g> Network<'g> {
 
     /// The sharded-parallel twin of [`Network::drive`].
     ///
-    /// Per round: worker threads step disjoint contiguous node shards
-    /// (each with a shard-local staging buffer and a shard-local
-    /// derivation pass computing per-message destination, receiving
-    /// port, link direction, and bit accounting), the main thread merges
-    /// the shards *in ascending shard order* (restoring the exact
-    /// sequential send order before occupancy checks and the counting
-    /// sort), and the arena materialization fans out over disjoint slot
-    /// ranges when there is enough traffic. Rounds below the work
-    /// threshold run the sequential phases on the caller thread, so
-    /// sparse active-set rounds pay nothing for the capability.
+    /// Each round is dispatched adaptively: rounds whose work (nodes
+    /// stepped + messages delivered) falls below the floor run the
+    /// sequential step/commit on the caller thread, and contested
+    /// rounds are timed so an EWMA cost model can route them to the
+    /// predicted-cheaper path. The parallel path is the three-phase
+    /// pipeline described in the module docs: workers step
+    /// degree-balanced shards and derive per-message bookkeeping
+    /// shard-locally (phase 1), the main thread merges histograms in
+    /// ascending shard order and prefix-scans the arena layout
+    /// (phase 2), and workers gather disjoint inbox ranges (phase 3) —
+    /// bit-identical to the sequential engine throughout.
     fn drive_par<P: ShardedProtocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
         let n = self.graph.node_count();
         if self.pool.threads() <= 1 || n == 0 {
@@ -779,27 +939,26 @@ impl<'g> Network<'g> {
                 let mut b = Vec::with_capacity(splits.len() + 1);
                 let mut lo = 0;
                 for &s in splits {
-                    assert!(
-                        lo < s && s < n,
-                        "shard split points must be strictly ascending within 1..n"
-                    );
+                    debug_assert!(lo < s && s < n, "validated by set_shard_bounds");
                     b.push((lo, s));
                     lo = s;
                 }
                 b.push((lo, n));
                 b
             }
-            None => shardpool::even_chunks(n, self.pool.threads()),
+            None => shardpool::weighted_chunks(&self.deg_prefix, self.pool.threads()),
         };
         let shards = bounds.len();
+        self.scratch.ensure_shards(shards, n);
         let full_sweep = self.force_full_sweep
             || <P as ShardedProtocol>::scheduling(proto) == Scheduling::FullSweep;
         let mut stats = RunStats::default();
         let mut staging: Vec<(NodeId, u32, Option<P::Msg>)> = Vec::new();
         let mut arena: Vec<(u32, P::Msg)> = Vec::new();
-        // Shard-local buffers, reused across rounds.
-        let mut bufs: Vec<ShardBufs<P::Msg>> = (0..shards).map(|_| ShardBufs::new()).collect();
-        let mut fill_chunks: Vec<Vec<(u32, P::Msg)>> = (0..shards).map(|_| Vec::new()).collect();
+        // Shard-local generic buffers, reused across rounds.
+        let mut shard_staging: Vec<Vec<(NodeId, u32, Option<P::Msg>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut gather_bufs: Vec<Vec<(u32, P::Msg)>> = (0..shards).map(|_| Vec::new()).collect();
         let ports = &self.ports;
         let edge_ports = &self.edge_ports;
         let cut = self.cut.as_deref();
@@ -807,12 +966,15 @@ impl<'g> Network<'g> {
         let pool = &self.pool;
         let node_threshold = self.par_node_threshold;
         let msg_threshold = self.par_msg_threshold;
+        let model = &mut self.dispatch;
+        let mut dstats = DispatchStats::default();
         let sc = &mut self.scratch;
         sc.active.clear();
         sc.next_active.clear();
         let mut round: u64 = 0;
         let mut quiesced = false;
         let mut step_all_next = true;
+        let mut last_sent: u64 = 0;
         loop {
             match budget {
                 Budget::Exact(r) if round >= r => {
@@ -832,8 +994,30 @@ impl<'g> Network<'g> {
                 n,
                 "ShardedProtocol::split must expose exactly one state per node"
             );
-            let sent = if step_count >= node_threshold.max(2) {
-                // --- Parallel step + shard-local derivation ---
+            // --- Adaptive dispatch: floor, then cost model ---
+            let work = step_count as u64 + last_sent;
+            let (go_par, measure) = if node_threshold == 0 {
+                // Test mode: every round fans out, untimed, so runs
+                // stay deterministic for the differential suites.
+                (true, false)
+            } else if work < node_threshold as u64 {
+                dstats.floor_rounds += 1;
+                (false, false)
+            } else {
+                model.contested += 1;
+                match (model.seq_ns_per_unit, model.par_ns_per_unit) {
+                    (None, _) => (false, true),
+                    (_, None) => (true, true),
+                    (Some(seq), Some(par)) => {
+                        let probe = model.contested.is_multiple_of(DISPATCH_PROBE_PERIOD);
+                        ((par < seq) != probe, true)
+                    }
+                }
+            };
+            let timer = measure.then(std::time::Instant::now);
+            let sent = if go_par {
+                dstats.par_rounds += 1;
+                // ===== Phase 1: step + derive (workers) =====
                 let inbox_start = &sc.inbox_start;
                 let inbox_len = &sc.inbox_len;
                 let inbox_stamp = &sc.inbox_stamp;
@@ -842,7 +1026,8 @@ impl<'g> Network<'g> {
                 let mut items: Vec<StepItem<'_, P::Msg, P::Node>> = Vec::with_capacity(shards);
                 let mut rest = nodes;
                 let mut cursor = 0usize;
-                let mut bufs_iter = bufs.iter_mut();
+                let mut staging_iter = shard_staging.iter_mut();
+                let mut scratch_iter = sc.shard_scratch.iter_mut();
                 for &(lo, hi) in &bounds {
                     let (chunk, tail) = rest.split_at_mut(hi - lo);
                     rest = tail;
@@ -859,12 +1044,14 @@ impl<'g> Network<'g> {
                         lo,
                         chunk,
                         active: act,
-                        bufs: bufs_iter.next().expect("one buffer per shard"),
+                        staging: staging_iter.next().expect("one staging buffer per shard"),
+                        scratch: scratch_iter.next().expect("one scratch per shard"),
                     });
                 }
                 pool.run(&mut items, |_, it| {
-                    let bufs = &mut *it.bufs;
-                    bufs.clear();
+                    it.staging.clear();
+                    let scr = &mut *it.scratch;
+                    scr.clear_round();
                     let count = if step_all {
                         it.chunk.len()
                     } else {
@@ -888,17 +1075,20 @@ impl<'g> Network<'g> {
                             round,
                             ports: &ports[v],
                             inbox,
-                            outbox: &mut bufs.staging,
+                            outbox: &mut *it.staging,
                             woke: &mut woke,
                         };
                         P::step_node(shared, &mut it.chunk[v - it.lo], &mut ctx);
                         if woke && !full_sweep {
-                            bufs.woke.push(v as u32);
+                            scr.woke.push(v as u32);
                         }
                     }
-                    // Shard-local derivation pass: everything per-message
-                    // that needs no shared engine state.
-                    for &(sender, port_idx, ref msg) in bufs.staging.iter() {
+                    // Derivation pass: all per-message bookkeeping that
+                    // needs no cross-shard state — CONGEST checks, bit
+                    // accounting, destination histogram, and the
+                    // shard-local stable counting sort.
+                    let mut prev_sender = usize::MAX;
+                    for &(sender, port_idx, ref msg) in it.staging.iter() {
                         let port = ports[sender][port_idx as usize];
                         let bits =
                             P::msg_bits(shared, msg.as_ref().expect("staged message present"));
@@ -907,32 +1097,79 @@ impl<'g> Network<'g> {
                             "CONGEST violation: {bits}-bit message exceeds bandwidth \
                              {bandwidth} (sender {sender})",
                         );
-                        bufs.messages += 1;
-                        bufs.bits += bits;
-                        bufs.max_bits = bufs.max_bits.max(bits);
+                        scr.messages += 1;
+                        scr.bits += bits;
+                        scr.max_bits = scr.max_bits.max(bits);
                         if let Some(cut) = cut {
                             let a = cut[sender];
                             let b = cut[port.peer];
                             if a != b && a != Side::Neutral && b != Side::Neutral {
-                                bufs.cut_bits += bits;
+                                scr.cut_bits += bits;
                             }
                         }
-                        bufs.dirs
-                            .push((2 * port.link + usize::from(!port.outgoing)) as u32);
-                        bufs.dests.push(port.peer as u32);
-                        bufs.recv_ports.push(if port.outgoing {
+                        // Occupancy: a link direction is owned by one
+                        // (sender, port) pair and a sender's sends are
+                        // consecutive, so a repeated port inside one
+                        // sender block is exactly a duplicate direction.
+                        if sender != prev_sender {
+                            prev_sender = sender;
+                            scr.port_block += 1;
+                        }
+                        let p = port_idx as usize;
+                        if p >= scr.port_seen.len() {
+                            scr.port_seen.resize(p + 1, 0);
+                        }
+                        assert_ne!(
+                            scr.port_seen[p],
+                            scr.port_block,
+                            "CONGEST violation: two messages on link {} direction {} in \
+                             round {} (sender {})",
+                            port.link,
+                            usize::from(!port.outgoing),
+                            round,
+                            sender
+                        );
+                        scr.port_seen[p] = scr.port_block;
+                        let dest = port.peer;
+                        scr.dests.push(dest as u32);
+                        scr.recv_ports.push(if port.outgoing {
                             edge_ports[port.link].1
                         } else {
                             edge_ports[port.link].0
                         });
+                        if scr.count_stamp[dest] != g {
+                            scr.count_stamp[dest] = g;
+                            scr.local_count[dest] = 0;
+                            scr.touched.push(dest as u32);
+                        }
+                        scr.local_count[dest] += 1;
+                    }
+                    // Shard-local stable counting sort by destination;
+                    // afterwards `local_start[d]` is the *end* of d's
+                    // run in `order`.
+                    let mut offset: u32 = 0;
+                    for &d in &scr.touched {
+                        let d = d as usize;
+                        scr.local_start[d] = offset;
+                        offset += scr.local_count[d];
+                    }
+                    scr.order.clear();
+                    scr.order.resize(scr.dests.len(), 0);
+                    for (i, &d) in scr.dests.iter().enumerate() {
+                        let d = d as usize;
+                        let slot = scr.local_start[d] as usize;
+                        scr.local_start[d] += 1;
+                        scr.order[slot] = i as u32;
                     }
                 });
                 drop(items);
-                // --- Merge in ascending shard order ---
-                // Wake activations first, as in the sequential step loop.
+                // ===== Phase 2: merge + scan (main thread) =====
+                // Wake activations first, as in the sequential step
+                // loop; `next_active` ordering is immaterial (it is
+                // sorted or discarded below).
                 if !full_sweep {
-                    for b in &bufs {
-                        for &w in &b.woke {
+                    for scr in &sc.shard_scratch[..shards] {
+                        for &w in &scr.woke {
                             let w = w as usize;
                             if sc.active_stamp[w] != g + 1 {
                                 sc.active_stamp[w] = g + 1;
@@ -941,90 +1178,121 @@ impl<'g> Network<'g> {
                         }
                     }
                 }
+                // Merging the shard touched-lists in ascending shard
+                // order reproduces the sequential first-touch
+                // destination order exactly, because the sequential
+                // staging is the ascending-shard concatenation of the
+                // shard stagings.
                 sc.touched.clear();
-                sc.dests.clear();
-                sc.recv_ports.clear();
                 let mut sent = 0u64;
-                for b in &mut bufs {
-                    stats.messages += b.messages;
-                    stats.bits += b.bits;
-                    stats.max_message_bits = stats.max_message_bits.max(b.max_bits);
-                    stats.cut_bits += b.cut_bits;
-                    for i in 0..b.staging.len() {
-                        let dir = b.dirs[i] as usize;
-                        assert_ne!(
-                            sc.occupied[dir],
-                            g,
-                            "CONGEST violation: two messages on link {} direction {} in \
-                             round {} (sender {})",
-                            dir >> 1,
-                            dir & 1,
-                            round,
-                            b.staging[i].0
-                        );
-                        sc.occupied[dir] = g;
-                        let dest = b.dests[i] as usize;
-                        sc.dests.push(b.dests[i]);
-                        sc.recv_ports.push(b.recv_ports[i]);
-                        if sc.count_stamp[dest] != g {
-                            sc.count_stamp[dest] = g;
-                            sc.counts[dest] = 0;
-                            sc.touched.push(dest as u32);
+                for scr in &sc.shard_scratch[..shards] {
+                    stats.messages += scr.messages;
+                    stats.bits += scr.bits;
+                    stats.max_message_bits = stats.max_message_bits.max(scr.max_bits);
+                    stats.cut_bits += scr.cut_bits;
+                    sent += scr.dests.len() as u64;
+                    for &d in &scr.touched {
+                        let du = d as usize;
+                        if sc.count_stamp[du] != g {
+                            sc.count_stamp[du] = g;
+                            sc.counts[du] = 0;
+                            sc.touched.push(d);
+                            if !full_sweep && sc.active_stamp[du] != g + 1 {
+                                sc.active_stamp[du] = g + 1;
+                                sc.next_active.push(d);
+                            }
                         }
-                        sc.counts[dest] += 1;
-                        if !full_sweep && sc.active_stamp[dest] != g + 1 {
-                            sc.active_stamp[dest] = g + 1;
-                            sc.next_active.push(dest as u32);
-                        }
+                        sc.counts[du] += scr.local_count[du];
                     }
-                    sent += b.staging.len() as u64;
-                    staging.append(&mut b.staging);
                 }
-                finish_order(sc, g);
+                // Exclusive prefix scan: each touched destination gets
+                // its contiguous arena slice, laid out exactly as the
+                // sequential counting sort would.
+                sc.touched_prefix.clear();
+                sc.touched_prefix.push(0);
+                let mut offset: u32 = 0;
+                for &d in &sc.touched {
+                    let du = d as usize;
+                    sc.inbox_start[du] = offset;
+                    sc.inbox_len[du] = sc.counts[du];
+                    sc.inbox_stamp[du] = g + 1;
+                    offset += sc.counts[du];
+                    sc.touched_prefix.push(offset as u64);
+                }
+                debug_assert_eq!(offset as u64, sent);
+                // ===== Phase 3: gather (workers) =====
                 arena.clear();
-                if staging.len() >= msg_threshold.max(2) {
-                    // Parallel materialization: disjoint slot ranges,
-                    // shared reads of `staging`/`order`, per-chunk output
-                    // buffers appended in slot order.
-                    let staging_r: &[(NodeId, u32, Option<P::Msg>)] = &staging;
-                    let order: &[u32] = &sc.order;
-                    let recv_ports: &[u32] = &sc.recv_ports;
-                    let slot_chunks = shardpool::even_chunks(staging_r.len(), shards);
-                    let mut fitems: Vec<FillItem<'_, P::Msg>> = fill_chunks
+                if sent >= msg_threshold.max(2) as u64 {
+                    // Destination ranges balanced by message count;
+                    // each worker fills its ranges' inbox slices by
+                    // walking the shard sort orders shard-ascending.
+                    let ranges = shardpool::weighted_chunks(&sc.touched_prefix, shards);
+                    let touched: &[u32] = &sc.touched;
+                    let shard_sc: &[ShardScratch] = &sc.shard_scratch[..shards];
+                    let shard_msgs: &[Vec<(NodeId, u32, Option<P::Msg>)>] = &shard_staging;
+                    let mut gitems: Vec<GatherItem<'_, P::Msg>> = gather_bufs
                         .iter_mut()
-                        .zip(slot_chunks)
-                        .map(|(buf, (lo, hi))| FillItem { buf, lo, hi })
+                        .zip(&ranges)
+                        .map(|(buf, &(tlo, thi))| GatherItem { buf, tlo, thi })
                         .collect();
-                    pool.run(&mut fitems, |_, it| {
+                    pool.run(&mut gitems, |_, it| {
                         it.buf.clear();
-                        it.buf.reserve(it.hi - it.lo);
-                        for slot in it.lo..it.hi {
-                            let i = order[slot] as usize;
-                            let msg = staging_r[i]
-                                .2
-                                .as_ref()
-                                .expect("each staged message is delivered exactly once")
-                                .clone();
-                            it.buf.push((recv_ports[i], msg));
+                        for &d in &touched[it.tlo..it.thi] {
+                            let du = d as usize;
+                            for (scr, msgs) in shard_sc.iter().zip(shard_msgs) {
+                                if scr.count_stamp[du] != g {
+                                    continue;
+                                }
+                                let end = scr.local_start[du] as usize;
+                                let cnt = scr.local_count[du] as usize;
+                                for &i in &scr.order[end - cnt..end] {
+                                    let i = i as usize;
+                                    let msg =
+                                        msgs[i].2.as_ref().expect("staged message present").clone();
+                                    it.buf.push((scr.recv_ports[i], msg));
+                                }
+                            }
                         }
                     });
-                    drop(fitems);
-                    for buf in &mut fill_chunks {
+                    drop(gitems);
+                    for buf in &mut gather_bufs {
                         arena.append(buf);
                     }
                 } else {
-                    arena.extend(sc.order.iter().map(|&i| {
-                        let msg = staging[i as usize]
-                            .2
-                            .take()
-                            .expect("each staged message is delivered exactly once");
-                        (sc.recv_ports[i as usize], msg)
-                    }));
+                    // Low traffic: gather on this thread, moving the
+                    // messages out of the shard stagings instead of
+                    // cloning them.
+                    for &d in &sc.touched {
+                        let du = d as usize;
+                        for (scr, msgs) in sc.shard_scratch[..shards]
+                            .iter()
+                            .zip(shard_staging.iter_mut())
+                        {
+                            if scr.count_stamp[du] != g {
+                                continue;
+                            }
+                            let end = scr.local_start[du] as usize;
+                            let cnt = scr.local_count[du] as usize;
+                            for &i in &scr.order[end - cnt..end] {
+                                let i = i as usize;
+                                let msg = msgs[i]
+                                    .2
+                                    .take()
+                                    .expect("each staged message is delivered exactly once");
+                                arena.push((scr.recv_ports[i], msg));
+                            }
+                        }
+                    }
                 }
-                staging.clear();
+                for msgs in shard_staging.iter_mut() {
+                    msgs.clear();
+                }
                 sent
             } else {
-                // --- Sequential fallback round ---
+                if measure {
+                    dstats.seq_rounds += 1;
+                }
+                // --- Sequential round on the caller thread ---
                 for i in 0..step_count {
                     let v = if step_all { i } else { sc.active[i] as usize };
                     let inbox: &[(u32, P::Msg)] = if sc.inbox_stamp[v] == g {
@@ -1063,6 +1331,10 @@ impl<'g> Network<'g> {
                     |m| P::msg_bits(shared, m),
                 )
             };
+            if let Some(t0) = timer {
+                model.observe(go_par, t0.elapsed().as_nanos() as f64, work);
+            }
+            last_sent = sent;
             round += 1;
             if !full_sweep {
                 step_all_next = 8 * sc.next_active.len() >= n;
@@ -1082,6 +1354,9 @@ impl<'g> Network<'g> {
         }
         stats.rounds = round;
         sc.generation += 1;
+        dstats.ewma_seq_ns_per_unit = model.seq_ns_per_unit.unwrap_or(0.0);
+        dstats.ewma_par_ns_per_unit = model.par_ns_per_unit.unwrap_or(0.0);
+        self.metrics.record_dispatch(dstats);
         (stats, quiesced)
     }
 }
@@ -1102,61 +1377,50 @@ enum Budget {
     UntilQuiet(u64),
 }
 
-/// Default minimum nodes stepped in a round before the step phase fans
-/// out to worker threads. Below this, a round is cheaper than the
-/// spawn/join of a scoped fan-out, so sparse active-set workloads stay
-/// sequential automatically.
+/// Default work floor of the adaptive dispatcher: rounds whose work
+/// (nodes stepped + messages delivered) falls below this run
+/// sequentially without consulting the cost model, so sparse
+/// active-set workloads never pay fan-out or timing overhead.
 const DEFAULT_PAR_NODE_THRESHOLD: usize = 2048;
 
-/// Default minimum staged messages before the arena materialization
-/// fans out (clones per slot are much cheaper than protocol steps, so
-/// this threshold is higher).
+/// Default minimum staged messages before the gather phase fans out
+/// (clones per slot are much cheaper than protocol steps, so this
+/// threshold is higher).
 const DEFAULT_PAR_MSG_THRESHOLD: usize = 8192;
 
-/// Per-shard worker buffers, reused across rounds.
-struct ShardBufs<M> {
-    /// Sends staged by this shard's nodes, in step order.
-    staging: Vec<(NodeId, u32, Option<M>)>,
-    /// Per staged message: link-direction index (`2*link + side`).
-    dirs: Vec<u32>,
-    /// Per staged message: destination node.
-    dests: Vec<u32>,
-    /// Per staged message: receiving port at the destination.
-    recv_ports: Vec<u32>,
-    /// Nodes in this shard that called [`NodeCtx::wake`], ascending.
-    woke: Vec<u32>,
-    /// Partial [`RunStats`] accounting for this shard's sends.
-    messages: u64,
-    bits: u64,
-    max_bits: u64,
-    cut_bits: u64,
+/// Every `DISPATCH_PROBE_PERIOD`-th contested round runs the
+/// predicted-*slower* path so its cost estimate keeps tracking phase
+/// changes in the workload.
+const DISPATCH_PROBE_PERIOD: u64 = 32;
+
+/// EWMA smoothing factor for the dispatch cost estimates.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// The adaptive dispatcher's cost model: EWMA nanoseconds per unit of
+/// work (nodes stepped + messages delivered) for each execution path,
+/// learned from timed contested rounds and persisted on the network
+/// across drives. Routing decisions never affect results — both paths
+/// are bit-identical — only wall-clock.
+#[derive(Clone, Copy, Debug, Default)]
+struct DispatchModel {
+    seq_ns_per_unit: Option<f64>,
+    par_ns_per_unit: Option<f64>,
+    /// Contested rounds seen so far (drives the probing cadence).
+    contested: u64,
 }
 
-impl<M> ShardBufs<M> {
-    fn new() -> ShardBufs<M> {
-        ShardBufs {
-            staging: Vec::new(),
-            dirs: Vec::new(),
-            dests: Vec::new(),
-            recv_ports: Vec::new(),
-            woke: Vec::new(),
-            messages: 0,
-            bits: 0,
-            max_bits: 0,
-            cut_bits: 0,
-        }
-    }
-
-    fn clear(&mut self) {
-        self.staging.clear();
-        self.dirs.clear();
-        self.dests.clear();
-        self.recv_ports.clear();
-        self.woke.clear();
-        self.messages = 0;
-        self.bits = 0;
-        self.max_bits = 0;
-        self.cut_bits = 0;
+impl DispatchModel {
+    fn observe(&mut self, parallel: bool, elapsed_ns: f64, work: u64) {
+        let sample = elapsed_ns / work.max(1) as f64;
+        let est = if parallel {
+            &mut self.par_ns_per_unit
+        } else {
+            &mut self.seq_ns_per_unit
+        };
+        *est = Some(match *est {
+            None => sample,
+            Some(e) => EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * e,
+        });
     }
 }
 
@@ -1168,14 +1432,18 @@ struct StepItem<'a, M, N> {
     chunk: &'a mut [N],
     /// The shard's slice of the sorted active list (empty on sweeps).
     active: &'a [u32],
-    bufs: &'a mut ShardBufs<M>,
+    /// Sends staged by this shard's nodes, in step order.
+    staging: &'a mut Vec<(NodeId, u32, Option<M>)>,
+    /// The shard's non-generic worker scratch.
+    scratch: &'a mut ShardScratch,
 }
 
-/// One arena-fill work item: a contiguous range of arena slots.
-struct FillItem<'a, M> {
+/// One gather-phase work item: a contiguous range of the global
+/// touched-destination list whose inbox slices this worker fills.
+struct GatherItem<'a, M> {
     buf: &'a mut Vec<(u32, M)>,
-    lo: usize,
-    hi: usize,
+    tlo: usize,
+    thi: usize,
 }
 
 /// The sequential commit phase: enforce CONGEST, account bits, count

@@ -123,6 +123,91 @@ pub fn layered_dag(
     (b.build(), s, t)
 }
 
+/// A star: node `0` is the hub, nodes `1..n` are spokes.
+///
+/// Spoke arcs alternate orientation (hub→spoke for even spokes,
+/// spoke→hub for odd) so both arc directions occur without changing the
+/// topology. The undirected graph is connected with diameter 2 and the
+/// hub has undirected degree `n - 1` — the most extreme single-shard
+/// hot spot a degree-oblivious node partition can hit.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> DiGraph {
+    assert!(n >= 2, "a star needs a hub and at least one spoke");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        if v % 2 == 0 {
+            b.add_arc(0, v);
+        } else {
+            b.add_arc(v, 0);
+        }
+    }
+    b.build()
+}
+
+/// Two linked hubs (`0` and `1`) with spokes `2..n` alternating between
+/// them.
+///
+/// Splits the star's hot spot in half: the natural two-shard cut either
+/// isolates each hub (balanced) or lumps both into one shard
+/// (maximally skewed), exercising shard-boundary placement around
+/// adjacent heavy nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn two_hub(n: usize) -> DiGraph {
+    assert!(n >= 2, "a two-hub graph needs both hubs");
+    let mut b = GraphBuilder::new(n);
+    b.add_arc(0, 1);
+    for v in 2..n {
+        let hub = v % 2;
+        if v % 4 < 2 {
+            b.add_arc(hub, v);
+        } else {
+            b.add_arc(v, hub);
+        }
+    }
+    b.build()
+}
+
+/// Preferential-attachment digraph with a power-law degree profile.
+///
+/// Nodes arrive one at a time; node `v` attaches to an existing node
+/// chosen proportionally to its current undirected degree (the classic
+/// rich-get-richer urn), with the arc orientation drawn at random. The
+/// result is a connected tree-like graph whose few early nodes
+/// accumulate most of the degree — the smooth cousin of [`star`] for
+/// testing degree-aware work partitioning.
+///
+/// Deterministic for a given `(n, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn power_law_digraph(n: usize, seed: u64) -> DiGraph {
+    assert!(n >= 2, "preferential attachment needs a seed edge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.add_arc(0, 1);
+    // One bag entry per edge endpoint: sampling uniformly from the bag
+    // is sampling nodes proportionally to degree.
+    let mut bag: Vec<NodeId> = vec![0, 1];
+    for v in 2..n {
+        let target = bag[rng.gen_range(0..bag.len())];
+        if rng.gen_range(0..2) == 0 {
+            b.add_arc(target, v);
+        } else {
+            b.add_arc(v, target);
+        }
+        bag.push(target);
+        bag.push(v);
+    }
+    b.build()
+}
+
 /// The Ω(D) lower-bound family from the proof of Theorem 2.
 #[derive(Clone, Debug)]
 pub struct Theorem2Instance {
@@ -250,6 +335,46 @@ mod tests {
         let p = shortest_st_path(&g, s, t).unwrap();
         assert_eq!(p.hops(), 7);
         assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn star_is_connected_with_one_hub() {
+        let g = star(31);
+        assert_eq!(g.node_count(), 31);
+        assert_eq!(g.edge_count(), 30);
+        assert_eq!(undirected_diameter(&g), Some(2));
+        assert_eq!(g.undirected_degree(0), 30);
+        for v in 1..31 {
+            assert_eq!(g.undirected_degree(v), 1);
+        }
+        // Both arc orientations occur.
+        assert!(g.out_degree(0) > 0 && g.in_degree(0) > 0);
+    }
+
+    #[test]
+    fn two_hub_splits_degree_between_hubs() {
+        let g = two_hub(40);
+        assert!(undirected_diameter(&g).is_some());
+        assert_eq!(g.undirected_degree(0), 20);
+        assert_eq!(g.undirected_degree(1), 20);
+        for v in 2..40 {
+            assert_eq!(g.undirected_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn power_law_is_connected_deterministic_and_skewed() {
+        let g = power_law_digraph(400, 7);
+        assert_eq!(g.node_count(), 400);
+        assert_eq!(g.edge_count(), 399);
+        assert!(undirected_diameter(&g).is_some(), "must be connected");
+        let h = power_law_digraph(400, 7);
+        let arcs = |g: &DiGraph| g.edges().map(|(_, e)| (e.from, e.to)).collect::<Vec<_>>();
+        assert_eq!(arcs(&g), arcs(&h), "same seed, same graph");
+        // Rich-get-richer: the heaviest node dwarfs the average degree
+        // (~2 in a tree).
+        let max_deg = g.nodes().map(|v| g.undirected_degree(v)).max().unwrap();
+        assert!(max_deg >= 20, "expected a heavy hub, max degree {max_deg}");
     }
 
     #[test]

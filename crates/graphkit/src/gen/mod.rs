@@ -21,11 +21,17 @@
 //!   alternative routes.
 //! - [`theorem2_family`]: the Ω(D) construction from the proof of
 //!   Theorem 2 (two parallel `s`-`t` paths of lengths `D` and `D+1`).
+//! - [`star`], [`two_hub`], [`power_law_digraph`]: degree-skewed
+//!   topologies (one hub, two adjacent hubs, preferential attachment)
+//!   that stress degree-aware shard balancing in the parallel engine.
 
 mod families;
 mod random;
 
-pub use families::{grid, layered_dag, parallel_lane, theorem2_family, Theorem2Instance};
+pub use families::{
+    grid, layered_dag, parallel_lane, power_law_digraph, star, theorem2_family, two_hub,
+    Theorem2Instance,
+};
 pub use random::{
     planted_path_digraph, random_digraph, random_reachable_pair, random_weighted_digraph,
 };

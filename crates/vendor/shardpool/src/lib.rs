@@ -151,6 +151,69 @@ pub fn even_chunks(len: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Splits `0..len` (where `len = prefix.len() - 1`) into at most `parts`
+/// contiguous, ascending, non-empty ranges whose *weights* are balanced.
+///
+/// `prefix` is an inclusive prefix-sum array: `prefix[i]` is the total
+/// weight of items `0..i` (so `prefix[0] == 0` and `prefix` is
+/// non-decreasing). Range `k` ends at the first index whose cumulative
+/// weight reaches `total * k / parts`, so a single heavy item (a hub node
+/// whose degree dominates the graph) gets a range of its own instead of
+/// dragging its whole even-chunk behind it.
+///
+/// # Examples
+///
+/// ```
+/// // Item 0 carries almost all the weight: it becomes its own chunk.
+/// let prefix = [0u64, 97, 98, 99, 100];
+/// assert_eq!(
+///     shardpool::weighted_chunks(&prefix, 4),
+///     vec![(0, 1), (1, 2), (2, 3), (3, 4)]
+/// );
+/// // Uniform weights degenerate to (nearly) even chunks.
+/// let prefix: Vec<u64> = (0..=8).map(|i| i as u64).collect();
+/// assert_eq!(
+///     shardpool::weighted_chunks(&prefix, 2),
+///     vec![(0, 4), (4, 8)]
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics if `prefix` is empty or not non-decreasing.
+pub fn weighted_chunks(prefix: &[u64], parts: usize) -> Vec<(usize, usize)> {
+    assert!(!prefix.is_empty(), "prefix-sum array needs a leading 0");
+    debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]));
+    let len = prefix.len() - 1;
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    if prefix[len] == prefix[0] {
+        return even_chunks(len, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    let mut parts_left = parts;
+    while parts_left > 1 && lo < len {
+        // Re-aim at the *remaining* weight each time, so a heavy head
+        // that swallows several ideal targets doesn't starve the tail
+        // chunks down to one item each.
+        let remaining = prefix[len] - prefix[lo];
+        let target = prefix[lo] + (remaining / parts_left as u64).max(1);
+        // Smallest cut point whose cumulative weight reaches the target,
+        // clamped so every emitted range is non-empty.
+        let hi = prefix.partition_point(|&p| p < target).clamp(lo + 1, len);
+        if hi >= len {
+            break;
+        }
+        out.push((lo, hi));
+        lo = hi;
+        parts_left -= 1;
+    }
+    out.push((lo, len));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +257,52 @@ mod tests {
         let t = Pool::from_env("SHARDPOOL_TEST_VAR").threads();
         assert!((1..=AUTO_THREAD_CAP).contains(&t));
         std::env::remove_var("SHARDPOOL_TEST_VAR");
+    }
+
+    #[test]
+    fn weighted_chunks_cover_everything_in_order() {
+        for weights in [
+            vec![1u64; 17],
+            vec![100, 1, 1, 1, 1, 1, 1, 1],
+            vec![1, 1, 1, 1, 1, 1, 1, 100],
+            vec![0, 0, 5, 0, 0, 9, 0],
+            vec![7],
+        ] {
+            let mut prefix = vec![0u64];
+            for &w in &weights {
+                prefix.push(prefix.last().unwrap() + w);
+            }
+            for parts in [1usize, 2, 3, 8, 50] {
+                let chunks = weighted_chunks(&prefix, parts);
+                assert!(chunks.len() <= parts, "{weights:?} parts {parts}");
+                let mut expect = 0;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, expect, "{weights:?} parts {parts}");
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, weights.len());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_chunks_isolate_a_heavy_head() {
+        // A star-graph degree profile: the hub dominates, so it must get
+        // a chunk of its own while the spokes spread over the rest.
+        let mut prefix = vec![0u64, 1000];
+        for i in 0..30u64 {
+            prefix.push(1000 + 2 * (i + 1));
+        }
+        let chunks = weighted_chunks(&prefix, 4);
+        assert_eq!(chunks[0], (0, 1), "hub isolated: {chunks:?}");
+        assert_eq!(chunks.last().unwrap().1, 31);
+    }
+
+    #[test]
+    fn weighted_chunks_zero_total_falls_back_to_even() {
+        assert_eq!(weighted_chunks(&[0, 0, 0, 0], 3), even_chunks(3, 3));
+        assert!(weighted_chunks(&[0], 4).is_empty());
     }
 
     #[test]

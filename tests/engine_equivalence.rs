@@ -13,8 +13,10 @@
 //! random topologies under both schedules, run every migrated
 //! sharded protocol through the full
 //! `{sequential, 2 threads, 8 threads} × {active-set, full-sweep} ×
-//! {sparse, dense}` matrix, and extend the same matrix to *every public
-//! solver* — `unweighted`, `weighted`, `sisp`, `reachability`, and both
+//! {sparse, dense}` matrix plus the degree-skewed star / two-hub /
+//! power-law families (the adversarial inputs for degree-balanced shard
+//! boundaries), and extend the same matrix to *every public solver* —
+//! `unweighted`, `weighted`, `sisp`, `reachability`, and both
 //! baselines — across graph families, so end-to-end answers and the full
 //! per-phase metrics log are pinned bit-identical at any
 //! `CONGEST_THREADS` setting.
@@ -267,6 +269,55 @@ fn parallel_multi_bfs_matches_sequential_bitwise() {
                     .expect("quiesces")
             });
         }
+    }
+}
+
+/// Degree-skewed topologies: the star and two-hub families put almost
+/// all edge work on one or two nodes, and preferential attachment gives
+/// a smooth power-law profile. These are the adversarial inputs for
+/// degree-balanced shard boundaries — a node-count split would strand
+/// nearly all message traffic in a single shard.
+fn skewed_graphs() -> Vec<graphkit::DiGraph> {
+    use graphkit::gen::{power_law_digraph, star, two_hub};
+    vec![star(49), two_hub(50), power_law_digraph(96, 5)]
+}
+
+#[test]
+fn parallel_skewed_kernels_match_sequential_bitwise() {
+    for g in skewed_graphs() {
+        let n = g.node_count();
+
+        // BFS tree + pipelined broadcast rooted at a spoke, so traffic
+        // funnels through the hub(s).
+        let items: Vec<Vec<u64>> = (0..n)
+            .map(|v| (0..1 + v % 2).map(|j| (v * 9 + j) as u64).collect())
+            .collect();
+        parallel_matrix(&g, |net| {
+            let (tree, tree_stats) = build_bfs_tree(net, n - 1).unwrap();
+            let (out, stats) = broadcast(net, &tree, items.clone(), |_| 16, "bc");
+            (out, stats, tree_stats)
+        });
+
+        // Multi-source BFS with sources spread over spokes.
+        let sources: Vec<usize> = (0..4).map(|i| (i * 17 + 2) % n).collect();
+        let cfg = MultiBfsConfig {
+            sources: &sources,
+            max_dist: 20,
+            reverse: false,
+            delays: None,
+        };
+        parallel_matrix(&g, |net| {
+            multi_source_bfs(net, &cfg, |_| true, "mbfs", 8 * default_budget(4, 20))
+                .expect("quiesces")
+        });
+
+        // Min-aggregation over a hub-rooted tree.
+        let values: Vec<Dist> = (0..n).map(|v| Dist::new((v as u64 * 37) % 251)).collect();
+        parallel_matrix(&g, |net| {
+            let (tree, _) = build_bfs_tree(net, 0).unwrap();
+            let result = aggregate(net, &tree, AggOp::Min, &values);
+            (result, net.metrics().total)
+        });
     }
 }
 

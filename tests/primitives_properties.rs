@@ -266,6 +266,34 @@ proptest! {
     }
 
     #[test]
+    fn degree_balanced_bounds_never_change_delivery(
+        family in 0usize..3,
+        n in 10usize..64,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        // The default (no explicit `set_shard_bounds`) geometry is now
+        // degree-balanced: boundaries come from prefix sums of
+        // `1 + deg(v)`, so they shift with the topology and the thread
+        // count. On the most skewed families we have — star, two-hub,
+        // power-law — that geometry must still be invisible: logs and
+        // RunStats bit-identical to the sequential reference.
+        let g = match family {
+            0 => graphkit::gen::star(n),
+            1 => graphkit::gen::two_hub(n),
+            _ => graphkit::gen::power_law_digraph(n, seed),
+        };
+        let (ref_logs, ref_stats) =
+            run_recorder(&g, seed, 6, |net| net.set_threads(1));
+        let (par_logs, par_stats) = run_recorder(&g, seed, 6, |net| {
+            net.set_threads(threads);
+            net.set_parallel_threshold(0);
+        });
+        prop_assert_eq!(par_stats, ref_stats, "family {} threads {}", family, threads);
+        prop_assert_eq!(par_logs, ref_logs, "family {} threads {}", family, threads);
+    }
+
+    #[test]
     fn until_quiet_parallel_agrees_on_quiescence_and_stats(
         n in 4usize..40,
         density in 1usize..4,
