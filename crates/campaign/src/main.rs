@@ -1,0 +1,367 @@
+//! Fault campaigns: does the replacement-paths stack survive the
+//! failures it is supposed to route around?
+//!
+//! Sweeps three scenario families over carrier-style topologies:
+//!
+//! - **k-failure**: `k ∈ {1, 2, 4}` spans (antiparallel arc pairs) fail
+//!   simultaneously and permanently; the metro-ring `k = 1` suite
+//!   enumerates *every* span — a ring minus one span stays connected,
+//!   so each of those scenarios must come back
+//!   `degraded-answered` (asserted, not just recorded).
+//! - **flapping**: one span flaps down/up on a duty cycle while a
+//!   distributed BFS-tree probe retries (each retry re-anchors the plan
+//!   with `FaultPlan::shifted` to the rounds already consumed) until a
+//!   spanning tree builds; the steady state is pristine, so the solve
+//!   itself is full-fidelity.
+//! - **rolling-partition**: a failure front marches span by span around
+//!   the topology, the last failure permanent — transient churn the
+//!   recovery wrapper must see through, plus one real degradation.
+//!
+//! Every scenario runs `rpaths_core::resilient::solve_with_recovery`
+//! and a live detection probe; outcomes land in `CAMPAIGN_faults.json`
+//! at the repository root. `--smoke` (or `CAMPAIGN_SMOKE=1`) shrinks
+//! the sweep to seconds for CI while still writing the report.
+
+use congest::bfs_tree::build_bfs_tree;
+use congest::{FaultPlan, Network};
+use graphkit::gen::{metro_ring, power_law_digraph, star};
+use graphkit::{DiGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpaths_core::resilient::{solve_with_recovery, Recovery, RecoveryPolicy, Unweighted};
+use rpaths_core::Params;
+use serde::Serialize;
+
+/// Where the report lands: the repository root, next to the other
+/// reproduction artifacts.
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../CAMPAIGN_faults.json");
+
+/// A topology with its failure units: span `i` is the antiparallel arc
+/// pair `(2i, 2i + 1)` between `endpoints[i]`.
+struct Topology {
+    name: String,
+    graph: DiGraph,
+    endpoints: Vec<(NodeId, NodeId)>,
+    s: NodeId,
+    t: NodeId,
+}
+
+/// Rebuilds any digraph as its bidirectionalized version: one span
+/// (both arc directions) per undirected adjacency, spans in ascending
+/// endpoint order. Carrier links are full-duplex; failing a span fails
+/// both directions, which is the fault unit the campaigns sweep.
+fn spanify(name: &str, g: &DiGraph, s: NodeId, t: NodeId) -> Topology {
+    let mut pairs: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .map(|(_, e)| (e.from.min(e.to), e.from.max(e.to)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut b = GraphBuilder::new(g.node_count());
+    for &(u, v) in &pairs {
+        b.add_bidirectional(u, v);
+    }
+    Topology {
+        name: name.to_string(),
+        graph: b.build(),
+        endpoints: pairs,
+        s,
+        t,
+    }
+}
+
+/// A plan failing each listed span permanently from round 0.
+fn fail_spans(seed: u64, spans: &[usize]) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for &i in spans {
+        plan = plan.fail_link(2 * i, 0, None).fail_link(2 * i + 1, 0, None);
+    }
+    plan
+}
+
+#[derive(Serialize)]
+struct ScenarioRecord {
+    topology: String,
+    scenario: String,
+    k: usize,
+    /// The failed spans, as `u-v` endpoint pairs.
+    spans: Vec<String>,
+    /// `full`, `degraded-answered`, `partitioned`, `source-down`, or
+    /// `error`.
+    outcome: String,
+    /// Solve attempts consumed by the recovery wrapper.
+    attempts: u32,
+    /// Nodes severed from the source (0 when connected).
+    unreachable: usize,
+    /// Detection probes until a spanning BFS tree built (live plan).
+    probes: u32,
+    /// Total rounds those probes consumed.
+    probe_rounds: u64,
+    /// Whether a probe eventually spanned the network.
+    spanned: bool,
+}
+
+#[derive(Serialize)]
+struct KSurvival {
+    k: usize,
+    scenarios: usize,
+    answered: usize,
+    partitioned: usize,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    scenarios: usize,
+    answered: usize,
+    partitioned: usize,
+    by_k: Vec<KSurvival>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    records: Vec<ScenarioRecord>,
+    summary: Summary,
+}
+
+/// Retries a distributed BFS-tree build under the *live* plan until it
+/// spans, re-anchoring the plan to the rounds already consumed before
+/// each retry. Returns `(probes, rounds, spanned)`.
+fn probe_until_spanning(
+    g: &DiGraph,
+    plan: &FaultPlan,
+    s: NodeId,
+    max_probes: u32,
+) -> (u32, u64, bool) {
+    let mut net = Network::new(g);
+    net.set_fault_plan(Some(plan.clone()));
+    let mut probes = 0;
+    loop {
+        probes += 1;
+        if build_bfs_tree(&mut net, s).is_ok() {
+            return (probes, net.metrics().rounds(), true);
+        }
+        if probes >= max_probes {
+            return (probes, net.metrics().rounds(), false);
+        }
+        net.set_fault_plan(Some(plan.shifted(net.metrics().rounds())));
+    }
+}
+
+fn run_scenario(
+    topo: &Topology,
+    scenario: &str,
+    spans: &[usize],
+    plan: &FaultPlan,
+    records: &mut Vec<ScenarioRecord>,
+) {
+    let params = Params::for_n(topo.graph.node_count());
+    let policy = RecoveryPolicy::default();
+    let rec =
+        solve_with_recovery::<Unweighted>(&topo.graph, topo.s, topo.t, plan, &params, &policy);
+    let (outcome, attempts, unreachable) = match &rec {
+        Ok(Recovery::Full { attempts, .. }) => ("full".to_string(), *attempts, 0),
+        Ok(Recovery::Degraded(d)) => (
+            if d.answered.is_some() {
+                "degraded-answered".to_string()
+            } else {
+                "partitioned".to_string()
+            },
+            d.attempts,
+            d.unreachable.len(),
+        ),
+        Err(rpaths_core::resilient::RecoveryError::SourceDown) => ("source-down".to_string(), 0, 0),
+        Err(e) => (format!("error: {e}"), 0, 0),
+    };
+    let (probes, probe_rounds, spanned) = probe_until_spanning(&topo.graph, plan, topo.s, 8);
+    println!(
+        "  {:<16} {:<18} k={} spans=[{}] -> {} ({} attempts, {} probes / {} rounds)",
+        topo.name,
+        scenario,
+        spans.len(),
+        spans
+            .iter()
+            .map(|&i| format!("{}-{}", topo.endpoints[i].0, topo.endpoints[i].1))
+            .collect::<Vec<_>>()
+            .join(","),
+        outcome,
+        attempts,
+        probes,
+        probe_rounds,
+    );
+    records.push(ScenarioRecord {
+        topology: topo.name.clone(),
+        scenario: scenario.to_string(),
+        k: spans.len(),
+        spans: spans
+            .iter()
+            .map(|&i| format!("{}-{}", topo.endpoints[i].0, topo.endpoints[i].1))
+            .collect(),
+        outcome,
+        attempts,
+        unreachable,
+        probes,
+        probe_rounds,
+        spanned,
+    });
+}
+
+/// Draws a k-subset of `0..n` without replacement (partial
+/// Fisher-Yates).
+fn sample_spans(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut picked: Vec<usize> = idx[..k.min(n)].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("CAMPAIGN_SMOKE").is_ok_and(|v| v == "1");
+    let (ring_pops, star_n, pl_n, samples) = if smoke {
+        (8, 8, 12, 2)
+    } else {
+        (12, 16, 24, 6)
+    };
+    let mut rng = StdRng::seed_from_u64(0xfa17);
+    let mut records: Vec<ScenarioRecord> = Vec::new();
+
+    let ring = spanify(
+        &format!("metro-ring-{ring_pops}"),
+        &metro_ring(ring_pops),
+        0,
+        ring_pops / 2,
+    );
+    let hub = spanify(&format!("star-{star_n}"), &star(star_n), 1, 2);
+    let pl = spanify(
+        &format!("power-law-{pl_n}"),
+        &power_law_digraph(pl_n, 77),
+        0,
+        pl_n - 1,
+    );
+    let topologies = [&ring, &hub, &pl];
+
+    // --- k-failure sweeps ------------------------------------------------
+    println!("== k-failure campaigns (k in {{1, 2, 4}}) ==");
+    for topo in topologies {
+        for k in [1usize, 2, 4] {
+            let span_sets: Vec<Vec<usize>> = if k == 1 && std::ptr::eq(topo, &ring) {
+                // The acceptance suite: every single span of the ring.
+                (0..ring.endpoints.len()).map(|i| vec![i]).collect()
+            } else {
+                (0..samples)
+                    .map(|_| sample_spans(&mut rng, topo.endpoints.len(), k))
+                    .collect()
+            };
+            for spans in &span_sets {
+                let plan = fail_spans(span_seed(spans), spans);
+                run_scenario(topo, "k-failure", spans, &plan, &mut records);
+            }
+        }
+    }
+    // A ring minus one span is still connected: every metro-ring k=1
+    // scenario must have answered in degraded mode, never errored.
+    for r in records
+        .iter()
+        .filter(|r| r.topology == ring.name && r.scenario == "k-failure" && r.k == 1)
+    {
+        assert_eq!(
+            r.outcome, "degraded-answered",
+            "ring span {:?} did not survive",
+            r.spans
+        );
+    }
+
+    // --- flapping links --------------------------------------------------
+    println!("== flapping-link campaigns ==");
+    for topo in topologies {
+        // Flap the span nearest the target: down 3, up 3, three cycles.
+        let span = topo.endpoints.len() - 1;
+        let mut plan = FaultPlan::new(0xf1a9).drop_messages(0.02);
+        for cycle in 0..3u64 {
+            let at = 6 * cycle;
+            plan = plan.fail_link(2 * span, at, Some(at + 3)).fail_link(
+                2 * span + 1,
+                at,
+                Some(at + 3),
+            );
+        }
+        run_scenario(topo, "flapping", &[span], &plan, &mut records);
+    }
+
+    // --- rolling partition -----------------------------------------------
+    println!("== rolling-partition campaigns ==");
+    for topo in topologies {
+        let m = topo.endpoints.len();
+        let mut plan = FaultPlan::new(0x8011);
+        let mut spans = Vec::new();
+        for i in 0..m {
+            let at = 3 * i as u64;
+            // The front marches one span at a time; the last failure
+            // never recovers.
+            let up = if i + 1 == m { None } else { Some(at + 4) };
+            plan = plan.fail_link(2 * i, at, up).fail_link(2 * i + 1, at, up);
+            spans.push(i);
+        }
+        run_scenario(topo, "rolling-partition", &spans, &plan, &mut records);
+    }
+
+    // --- report ----------------------------------------------------------
+    let by_k = [1usize, 2, 4]
+        .iter()
+        .map(|&k| {
+            let of_k: Vec<_> = records
+                .iter()
+                .filter(|r| r.scenario == "k-failure" && r.k == k)
+                .collect();
+            KSurvival {
+                k,
+                scenarios: of_k.len(),
+                answered: of_k
+                    .iter()
+                    .filter(|r| r.outcome == "full" || r.outcome == "degraded-answered")
+                    .count(),
+                partitioned: of_k.iter().filter(|r| r.outcome == "partitioned").count(),
+            }
+        })
+        .collect();
+    let summary = Summary {
+        scenarios: records.len(),
+        answered: records
+            .iter()
+            .filter(|r| r.outcome == "full" || r.outcome == "degraded-answered")
+            .count(),
+        partitioned: records
+            .iter()
+            .filter(|r| r.outcome == "partitioned")
+            .count(),
+        by_k,
+    };
+    println!(
+        "\n{} scenarios: {} answered, {} partitioned",
+        summary.scenarios, summary.answered, summary.partitioned
+    );
+    let report = Report {
+        smoke,
+        records,
+        summary,
+    };
+    std::fs::write(
+        REPORT_PATH,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write CAMPAIGN_faults.json");
+    println!("wrote {REPORT_PATH}");
+}
+
+/// A deterministic seed per failed-span set, so re-running a single
+/// scenario reproduces it exactly.
+fn span_seed(spans: &[usize]) -> u64 {
+    spans.iter().fold(0x9e3779b97f4a7c15u64, |h, &s| {
+        (h ^ s as u64).wrapping_mul(0xbf58476d1ce4e5b9)
+    })
+}

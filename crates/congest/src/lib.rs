@@ -76,6 +76,19 @@
 //! randomizes shard boundaries. Table 1 numbers depend only on the
 //! model, never on the schedule or the hardware.
 //!
+//! # Fault injection
+//!
+//! The invariant extends to *misbehaving* networks: a seeded
+//! [`FaultPlan`] ([`faults`]) attaches timed link failures, node
+//! crashes, and probabilistic message drop/delay to a [`Network`]
+//! ([`Network::set_fault_plan`]), applied at commit time in both the
+//! sequential and the sharded-parallel round loops. Every per-message
+//! decision hashes `(seed, round, link, direction)` — message identity,
+//! not draw order — so a fixed plan yields bit-identical delivery,
+//! [`RunStats`], and [`FaultStats`] at any `CONGEST_THREADS` setting;
+//! [`FaultStats`] is *included* in [`Metrics`] equality to pin that
+//! down (unlike [`DispatchStats`], which is excluded).
+//!
 //! **Coverage:** every protocol shipped by this crate — BFS-tree
 //! construction, broadcast, aggregation, multi-source BFS, and both
 //! pipelines — implements [`ShardedProtocol`] and is driven through the
@@ -105,12 +118,14 @@
 pub mod aggregate;
 pub mod bfs_tree;
 pub mod broadcast;
+pub mod faults;
 mod metrics;
 pub mod multi_bfs;
 mod network;
 pub mod pipeline;
 
-pub use metrics::{DispatchStats, Metrics, PhaseStats, RunStats};
+pub use faults::{Fate, FaultPlan};
+pub use metrics::{DispatchStats, FaultStats, Metrics, PhaseStats, RunStats};
 pub use network::{
     word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, ShardedProtocol, Side,
 };

@@ -75,6 +75,54 @@ pub struct DispatchStats {
     pub ewma_par_ns_per_unit: f64,
 }
 
+/// Telemetry from fault injection (see `congest::faults`).
+///
+/// Unlike [`DispatchStats`], this *is* part of a run's deterministic
+/// outcome: a [`crate::FaultPlan`] decides every message's fate from
+/// `(seed, round, link, direction)` alone, so two runs of the same plan
+/// at different thread counts must produce bit-identical `FaultStats` —
+/// and [`Metrics`] equality deliberately includes it to pin that down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages dropped because their link was down when they were sent.
+    pub dropped_link_down: u64,
+    /// Messages dropped because their sender or receiver was crashed.
+    pub dropped_node_down: u64,
+    /// Messages dropped by the plan's per-message drop probability.
+    pub dropped_random: u64,
+    /// Messages taken off the wire for late delivery.
+    pub delayed: u64,
+    /// Delayed messages that were eventually delivered (a drive that
+    /// ends on an exact round budget may strand the difference
+    /// in flight).
+    pub delivered_late: u64,
+    /// Rounds in which at least one fault event occurred.
+    pub faulty_rounds: u64,
+}
+
+impl FaultStats {
+    /// Accumulates another run's fault telemetry into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.dropped_link_down += other.dropped_link_down;
+        self.dropped_node_down += other.dropped_node_down;
+        self.dropped_random += other.dropped_random;
+        self.delayed += other.delayed;
+        self.delivered_late += other.delivered_late;
+        self.faulty_rounds += other.faulty_rounds;
+    }
+
+    /// Total messages lost to any cause (late deliveries are not
+    /// losses).
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_link_down + self.dropped_node_down + self.dropped_random
+    }
+
+    /// `true` when no fault event was recorded at all.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Cumulative metrics for a [`crate::Network`] across all phases.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Metrics {
@@ -85,14 +133,17 @@ pub struct Metrics {
     /// Adaptive-dispatch telemetry (excluded from equality; see
     /// [`DispatchStats`]).
     pub dispatch: DispatchStats,
+    /// Fault-injection telemetry (included in equality; see
+    /// [`FaultStats`]).
+    pub faults: FaultStats,
 }
 
-/// Equality covers the deterministic accounting only (`total` and
-/// `phases`); [`Metrics::dispatch`] is wall-clock telemetry that may
+/// Equality covers the deterministic accounting only (`total`, `phases`,
+/// and `faults`); [`Metrics::dispatch`] is wall-clock telemetry that may
 /// differ between bit-identical runs.
 impl PartialEq for Metrics {
     fn eq(&self, other: &Metrics) -> bool {
-        self.total == other.total && self.phases == other.phases
+        self.total == other.total && self.phases == other.phases && self.faults == other.faults
     }
 }
 
@@ -123,6 +174,11 @@ impl Metrics {
         }
     }
 
+    /// Accumulates fault-injection telemetry from one drive.
+    pub fn record_faults(&mut self, f: FaultStats) {
+        self.faults.absorb(&f);
+    }
+
     /// Total rounds across all phases.
     pub fn rounds(&self) -> u64 {
         self.total.rounds
@@ -141,6 +197,8 @@ impl Metrics {
         self.phases.append(&mut other.phases);
         self.record_dispatch(other.dispatch);
         other.dispatch = DispatchStats::default();
+        self.faults.absorb(&other.faults);
+        other.faults = FaultStats::default();
     }
 
     /// Looks up the accumulated stats of all phases whose name contains

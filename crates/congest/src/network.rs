@@ -62,7 +62,8 @@ use std::fmt;
 
 use graphkit::{DiGraph, EdgeId, NodeId};
 
-use crate::metrics::{DispatchStats, Metrics, RunStats};
+use crate::faults::{Fate, FaultPlan};
+use crate::metrics::{DispatchStats, FaultStats, Metrics, RunStats};
 
 /// Number of bits needed to write `x` in binary (`0 -> 1` bit).
 ///
@@ -106,17 +107,41 @@ pub enum Side {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// The protocol did not reach quiescence within the round budget.
+    ///
+    /// The final-round snapshot makes budget exhaustion diagnosable
+    /// without rerunning: a protocol that is *still making progress*
+    /// (nonzero `last_active`/`last_messages`) merely needs a larger
+    /// budget, while one that exhausted the budget in silence is
+    /// livelocked on [`Protocol::idle`] or stranded in-flight (delayed)
+    /// traffic under a fault plan.
     RoundLimitExceeded {
         /// The configured budget.
         max_rounds: u64,
+        /// Rounds actually executed before giving up.
+        rounds: u64,
+        /// Nodes stepped in the final round.
+        last_active: u64,
+        /// Messages delivered or still in flight after the final
+        /// round's commit.
+        last_messages: u64,
     },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::RoundLimitExceeded { max_rounds } => {
-                write!(f, "protocol still active after {max_rounds} rounds")
+            EngineError::RoundLimitExceeded {
+                max_rounds,
+                rounds,
+                last_active,
+                last_messages,
+            } => {
+                write!(
+                    f,
+                    "protocol still active after {rounds} of {max_rounds} budgeted rounds \
+                     ({last_active} nodes stepped and {last_messages} messages delivered or \
+                     in flight in the final round)"
+                )
             }
         }
     }
@@ -532,6 +557,9 @@ pub struct Network<'g> {
     deg_prefix: Vec<u64>,
     /// Adaptive dispatch cost model, learned across drives.
     dispatch: DispatchModel,
+    /// Optional fault-injection schedule applied at commit time; see
+    /// [`crate::faults`].
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'g> Network<'g> {
@@ -589,6 +617,7 @@ impl<'g> Network<'g> {
             shard_bounds: None,
             deg_prefix,
             dispatch: DispatchModel::default(),
+            fault_plan: None,
         }
     }
 
@@ -668,6 +697,30 @@ impl<'g> Network<'g> {
         self.shard_bounds = splits;
     }
 
+    /// Attaches (or clears) a fault-injection schedule; every subsequent
+    /// drive on this network applies it at commit time, with per-drive
+    /// round numbering starting at 0 (use [`FaultPlan::shifted`] to
+    /// spread one logical timeline over several drives). Fault telemetry
+    /// accumulates in [`Metrics::faults`]; see [`crate::faults`] for the
+    /// fault model and the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan targets an edge or node outside this graph;
+    /// the message names the offending fault.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        if let Some(p) = &plan {
+            p.validate(self.graph.edge_count(), self.graph.node_count());
+        }
+        self.fault_plan = plan;
+    }
+
+    /// The attached fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Labels nodes with cut sides for Alice/Bob bit accounting.
     ///
     /// # Panics
@@ -745,9 +798,10 @@ impl<'g> Network<'g> {
     /// messages on one link direction in a round, or an oversized
     /// message).
     pub fn run_rounds<P: Protocol>(&mut self, name: &str, proto: &mut P, rounds: u64) -> RunStats {
-        let (stats, _) = self.drive(proto, Budget::Exact(rounds));
-        self.metrics.record(name, stats);
-        stats
+        let out = self.drive(proto, Budget::Exact(rounds));
+        self.metrics.record(name, out.stats);
+        self.metrics.record_faults(out.faults);
+        out.stats
     }
 
     /// Runs `proto` until quiescence (no messages in flight and
@@ -763,12 +817,13 @@ impl<'g> Network<'g> {
         proto: &mut P,
         max_rounds: u64,
     ) -> Result<RunStats, EngineError> {
-        let (stats, quiesced) = self.drive(proto, Budget::UntilQuiet(max_rounds));
-        if !quiesced {
-            return Err(EngineError::RoundLimitExceeded { max_rounds });
+        let out = self.drive(proto, Budget::UntilQuiet(max_rounds));
+        if !out.quiesced {
+            return Err(out.round_limit_error(max_rounds));
         }
-        self.metrics.record(name, stats);
-        Ok(stats)
+        self.metrics.record(name, out.stats);
+        self.metrics.record_faults(out.faults);
+        Ok(out.stats)
     }
 
     /// [`Network::run_rounds`] on the sharded-parallel execution path:
@@ -786,9 +841,10 @@ impl<'g> Network<'g> {
         proto: &mut P,
         rounds: u64,
     ) -> RunStats {
-        let (stats, _) = self.drive_par(proto, Budget::Exact(rounds));
-        self.metrics.record(name, stats);
-        stats
+        let out = self.drive_par(proto, Budget::Exact(rounds));
+        self.metrics.record(name, out.stats);
+        self.metrics.record_faults(out.faults);
+        out.stats
     }
 
     /// [`Network::run_until_quiet`] on the sharded-parallel execution
@@ -804,15 +860,16 @@ impl<'g> Network<'g> {
         proto: &mut P,
         max_rounds: u64,
     ) -> Result<RunStats, EngineError> {
-        let (stats, quiesced) = self.drive_par(proto, Budget::UntilQuiet(max_rounds));
-        if !quiesced {
-            return Err(EngineError::RoundLimitExceeded { max_rounds });
+        let out = self.drive_par(proto, Budget::UntilQuiet(max_rounds));
+        if !out.quiesced {
+            return Err(out.round_limit_error(max_rounds));
         }
-        self.metrics.record(name, stats);
-        Ok(stats)
+        self.metrics.record(name, out.stats);
+        self.metrics.record_faults(out.faults);
+        Ok(out.stats)
     }
 
-    fn drive<P: Protocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
+    fn drive<P: Protocol>(&mut self, proto: &mut P, budget: Budget) -> DriveOutcome {
         let n = self.graph.node_count();
         let full_sweep = self.force_full_sweep || proto.scheduling() == Scheduling::FullSweep;
         let mut stats = RunStats::default();
@@ -827,11 +884,15 @@ impl<'g> Network<'g> {
         let edge_ports = &self.edge_ports;
         let cut = &self.cut;
         let bandwidth = self.bandwidth;
+        let mut fault_run: Option<FaultRun<'_, P::Msg>> =
+            self.fault_plan.as_ref().map(FaultRun::new);
         let sc = &mut self.scratch;
         sc.active.clear();
         sc.next_active.clear();
         let mut round: u64 = 0;
         let mut quiesced = false;
+        let mut last_active: u64 = 0;
+        let mut last_sent: u64 = 0;
         // Round 0 sweeps everyone even under ActiveSet (the activation
         // contract's base case).
         let mut step_all_next = true;
@@ -872,21 +933,41 @@ impl<'g> Network<'g> {
                 }
             }
             // Commit phase: enforce CONGEST, account bits, and deliver
-            // via the counting-sorted arena.
-            let sent = commit_round(
-                sc,
-                &mut stats,
-                &mut staging,
-                &mut arena,
-                ports,
-                edge_ports,
-                cut.as_deref(),
-                bandwidth,
-                full_sweep,
-                round,
-                g,
-                |m| proto.msg_bits(m),
-            );
+            // via the counting-sorted arena (through the fault plan's
+            // filter when one is attached).
+            let sent = match fault_run.as_mut() {
+                Some(fr) => commit_round_faulty(
+                    sc,
+                    &mut stats,
+                    fr,
+                    &mut staging,
+                    &mut arena,
+                    ports,
+                    edge_ports,
+                    cut.as_deref(),
+                    bandwidth,
+                    full_sweep,
+                    round,
+                    g,
+                    |m| proto.msg_bits(m),
+                ),
+                None => commit_round(
+                    sc,
+                    &mut stats,
+                    &mut staging,
+                    &mut arena,
+                    ports,
+                    edge_ports,
+                    cut.as_deref(),
+                    bandwidth,
+                    full_sweep,
+                    round,
+                    g,
+                    |m| proto.msg_bits(m),
+                ),
+            };
+            last_active = step_count as u64;
+            last_sent = sent;
             round += 1;
             if !full_sweep {
                 // Stepping a superset of the active set is always exact
@@ -912,7 +993,13 @@ impl<'g> Network<'g> {
         // Invalidate the final round's stamps so the next phase on this
         // network cannot observe stale inboxes or activations.
         sc.generation += 1;
-        (stats, quiesced)
+        DriveOutcome {
+            stats,
+            quiesced,
+            last_active,
+            last_sent,
+            faults: fault_run.map(|fr| fr.stats).unwrap_or_default(),
+        }
     }
 
     /// The sharded-parallel twin of [`Network::drive`].
@@ -928,7 +1015,14 @@ impl<'g> Network<'g> {
     /// ascending shard order and prefix-scans the arena layout
     /// (phase 2), and workers gather disjoint inbox ranges (phase 3) —
     /// bit-identical to the sequential engine throughout.
-    fn drive_par<P: ShardedProtocol>(&mut self, proto: &mut P, budget: Budget) -> (RunStats, bool) {
+    ///
+    /// With a fault plan attached, parallel rounds still step shards on
+    /// workers but skip the fused derivation pass; the fault-aware
+    /// commit then runs on the main thread over the ascending-shard
+    /// concatenation of the shard stagings (the exact sequential send
+    /// order), so fault decisions and delivery stay bit-identical by
+    /// construction (see [`crate::faults`]).
+    fn drive_par<P: ShardedProtocol>(&mut self, proto: &mut P, budget: Budget) -> DriveOutcome {
         let n = self.graph.node_count();
         if self.pool.threads() <= 1 || n == 0 {
             return self.drive(proto, budget);
@@ -968,12 +1062,16 @@ impl<'g> Network<'g> {
         let msg_threshold = self.par_msg_threshold;
         let model = &mut self.dispatch;
         let mut dstats = DispatchStats::default();
+        let mut fault_run: Option<FaultRun<'_, P::Msg>> =
+            self.fault_plan.as_ref().map(FaultRun::new);
+        let faulty = fault_run.is_some();
         let sc = &mut self.scratch;
         sc.active.clear();
         sc.next_active.clear();
         let mut round: u64 = 0;
         let mut quiesced = false;
         let mut step_all_next = true;
+        let mut last_active: u64 = 0;
         let mut last_sent: u64 = 0;
         loop {
             match budget {
@@ -1083,6 +1181,14 @@ impl<'g> Network<'g> {
                             scr.woke.push(v as u32);
                         }
                     }
+                    if faulty {
+                        // Under a fault plan the main thread commits the
+                        // concatenated stagings itself (fate evaluation
+                        // interleaves with every per-message check), so
+                        // the fused derivation pass would be wasted — and
+                        // wrong about drops.
+                        return;
+                    }
                     // Derivation pass: all per-message bookkeeping that
                     // needs no cross-shard state — CONGEST checks, bit
                     // accounting, destination histogram, and the
@@ -1178,116 +1284,44 @@ impl<'g> Network<'g> {
                         }
                     }
                 }
-                // Merging the shard touched-lists in ascending shard
-                // order reproduces the sequential first-touch
-                // destination order exactly, because the sequential
-                // staging is the ascending-shard concatenation of the
-                // shard stagings.
-                sc.touched.clear();
-                let mut sent = 0u64;
-                for scr in &sc.shard_scratch[..shards] {
-                    stats.messages += scr.messages;
-                    stats.bits += scr.bits;
-                    stats.max_message_bits = stats.max_message_bits.max(scr.max_bits);
-                    stats.cut_bits += scr.cut_bits;
-                    sent += scr.dests.len() as u64;
-                    for &d in &scr.touched {
-                        let du = d as usize;
-                        if sc.count_stamp[du] != g {
-                            sc.count_stamp[du] = g;
-                            sc.counts[du] = 0;
-                            sc.touched.push(d);
-                            if !full_sweep && sc.active_stamp[du] != g + 1 {
-                                sc.active_stamp[du] = g + 1;
-                                sc.next_active.push(d);
-                            }
-                        }
-                        sc.counts[du] += scr.local_count[du];
+                if let Some(fr) = fault_run.as_mut() {
+                    // Fault path: concatenate the shard stagings in
+                    // ascending shard order — the exact sequential send
+                    // order — and run the fault-aware commit on this
+                    // thread, where fate evaluation, the delay queue,
+                    // and all accounting interleave per message.
+                    for buf in shard_staging.iter_mut() {
+                        staging.append(buf);
                     }
-                }
-                // Exclusive prefix scan: each touched destination gets
-                // its contiguous arena slice, laid out exactly as the
-                // sequential counting sort would.
-                sc.touched_prefix.clear();
-                sc.touched_prefix.push(0);
-                let mut offset: u32 = 0;
-                for &d in &sc.touched {
-                    let du = d as usize;
-                    sc.inbox_start[du] = offset;
-                    sc.inbox_len[du] = sc.counts[du];
-                    sc.inbox_stamp[du] = g + 1;
-                    offset += sc.counts[du];
-                    sc.touched_prefix.push(offset as u64);
-                }
-                debug_assert_eq!(offset as u64, sent);
-                // ===== Phase 3: gather (workers) =====
-                arena.clear();
-                if sent >= msg_threshold.max(2) as u64 {
-                    // Destination ranges balanced by message count;
-                    // each worker fills its ranges' inbox slices by
-                    // walking the shard sort orders shard-ascending.
-                    let ranges = shardpool::weighted_chunks(&sc.touched_prefix, shards);
-                    let touched: &[u32] = &sc.touched;
-                    let shard_sc: &[ShardScratch] = &sc.shard_scratch[..shards];
-                    let shard_msgs: &[Vec<(NodeId, u32, Option<P::Msg>)>] = &shard_staging;
-                    let mut gitems: Vec<GatherItem<'_, P::Msg>> = gather_bufs
-                        .iter_mut()
-                        .zip(&ranges)
-                        .map(|(buf, &(tlo, thi))| GatherItem { buf, tlo, thi })
-                        .collect();
-                    pool.run(&mut gitems, |_, it| {
-                        it.buf.clear();
-                        for &d in &touched[it.tlo..it.thi] {
-                            let du = d as usize;
-                            for (scr, msgs) in shard_sc.iter().zip(shard_msgs) {
-                                if scr.count_stamp[du] != g {
-                                    continue;
-                                }
-                                let end = scr.local_start[du] as usize;
-                                let cnt = scr.local_count[du] as usize;
-                                for &i in &scr.order[end - cnt..end] {
-                                    let i = i as usize;
-                                    let msg =
-                                        msgs[i].2.as_ref().expect("staged message present").clone();
-                                    it.buf.push((scr.recv_ports[i], msg));
-                                }
-                            }
-                        }
-                    });
-                    drop(gitems);
-                    for buf in &mut gather_bufs {
-                        arena.append(buf);
-                    }
+                    commit_round_faulty(
+                        sc,
+                        &mut stats,
+                        fr,
+                        &mut staging,
+                        &mut arena,
+                        ports,
+                        edge_ports,
+                        cut,
+                        bandwidth,
+                        full_sweep,
+                        round,
+                        g,
+                        |m| P::msg_bits(shared, m),
+                    )
                 } else {
-                    // Low traffic: gather on this thread, moving the
-                    // messages out of the shard stagings instead of
-                    // cloning them.
-                    for &d in &sc.touched {
-                        let du = d as usize;
-                        for (scr, msgs) in sc.shard_scratch[..shards]
-                            .iter()
-                            .zip(shard_staging.iter_mut())
-                        {
-                            if scr.count_stamp[du] != g {
-                                continue;
-                            }
-                            let end = scr.local_start[du] as usize;
-                            let cnt = scr.local_count[du] as usize;
-                            for &i in &scr.order[end - cnt..end] {
-                                let i = i as usize;
-                                let msg = msgs[i]
-                                    .2
-                                    .take()
-                                    .expect("each staged message is delivered exactly once");
-                                arena.push((scr.recv_ports[i], msg));
-                            }
-                        }
-                    }
+                    merge_scan_gather::<P::Msg>(
+                        sc,
+                        &mut stats,
+                        &mut shard_staging,
+                        &mut gather_bufs,
+                        &mut arena,
+                        pool,
+                        shards,
+                        msg_threshold,
+                        full_sweep,
+                        g,
+                    )
                 }
-                for msgs in shard_staging.iter_mut() {
-                    msgs.clear();
-                }
-                sent
             } else {
                 if measure {
                     dstats.seq_rounds += 1;
@@ -1316,24 +1350,42 @@ impl<'g> Network<'g> {
                         sc.next_active.push(v as u32);
                     }
                 }
-                commit_round(
-                    sc,
-                    &mut stats,
-                    &mut staging,
-                    &mut arena,
-                    ports,
-                    edge_ports,
-                    cut,
-                    bandwidth,
-                    full_sweep,
-                    round,
-                    g,
-                    |m| P::msg_bits(shared, m),
-                )
+                match fault_run.as_mut() {
+                    Some(fr) => commit_round_faulty(
+                        sc,
+                        &mut stats,
+                        fr,
+                        &mut staging,
+                        &mut arena,
+                        ports,
+                        edge_ports,
+                        cut,
+                        bandwidth,
+                        full_sweep,
+                        round,
+                        g,
+                        |m| P::msg_bits(shared, m),
+                    ),
+                    None => commit_round(
+                        sc,
+                        &mut stats,
+                        &mut staging,
+                        &mut arena,
+                        ports,
+                        edge_ports,
+                        cut,
+                        bandwidth,
+                        full_sweep,
+                        round,
+                        g,
+                        |m| P::msg_bits(shared, m),
+                    ),
+                }
             };
             if let Some(t0) = timer {
                 model.observe(go_par, t0.elapsed().as_nanos() as f64, work);
             }
+            last_active = step_count as u64;
             last_sent = sent;
             round += 1;
             if !full_sweep {
@@ -1357,7 +1409,13 @@ impl<'g> Network<'g> {
         dstats.ewma_seq_ns_per_unit = model.seq_ns_per_unit.unwrap_or(0.0);
         dstats.ewma_par_ns_per_unit = model.par_ns_per_unit.unwrap_or(0.0);
         self.metrics.record_dispatch(dstats);
-        (stats, quiesced)
+        DriveOutcome {
+            stats,
+            quiesced,
+            last_active,
+            last_sent,
+            faults: fault_run.map(|fr| fr.stats).unwrap_or_default(),
+        }
     }
 }
 
@@ -1375,6 +1433,60 @@ impl fmt::Debug for Network<'_> {
 enum Budget {
     Exact(u64),
     UntilQuiet(u64),
+}
+
+/// Everything one engine drive produced: the public [`RunStats`], the
+/// quiescence verdict, a final-round snapshot (for diagnosable budget
+/// errors), and the drive's fault telemetry.
+struct DriveOutcome {
+    stats: RunStats,
+    quiesced: bool,
+    /// Nodes stepped in the final executed round.
+    last_active: u64,
+    /// Messages delivered or left in flight by the final round's commit.
+    last_sent: u64,
+    faults: FaultStats,
+}
+
+impl DriveOutcome {
+    fn round_limit_error(&self, max_rounds: u64) -> EngineError {
+        EngineError::RoundLimitExceeded {
+            max_rounds,
+            rounds: self.stats.rounds,
+            last_active: self.last_active,
+            last_messages: self.last_sent,
+        }
+    }
+}
+
+/// Per-drive fault-injection state: the plan, the in-flight delayed
+/// messages, and the drive's [`FaultStats`]. Message fates are decided
+/// exclusively inside [`commit_round_faulty`], on the main thread, from
+/// the deterministic staged-send order.
+struct FaultRun<'p, M> {
+    plan: &'p FaultPlan,
+    /// In-flight delayed messages: `(due round, sender, port index,
+    /// message)`, in send order. Fates are sealed at send time, so due
+    /// entries are always delivered.
+    delayed: Vec<(u64, NodeId, u32, Option<M>)>,
+    /// The current round's due messages, drained from `delayed`.
+    due: Vec<(NodeId, u32, Option<M>)>,
+    /// Per delivered message: payload handle — index into `due` when
+    /// below the round's due count, else `due_count +` staging index.
+    payload: Vec<u32>,
+    stats: FaultStats,
+}
+
+impl<'p, M> FaultRun<'p, M> {
+    fn new(plan: &'p FaultPlan) -> FaultRun<'p, M> {
+        FaultRun {
+            plan,
+            delayed: Vec::new(),
+            due: Vec::new(),
+            payload: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
 }
 
 /// Default work floor of the adaptive dispatcher: rounds whose work
@@ -1555,6 +1667,313 @@ fn finish_order(sc: &mut EngineScratch, g: u64) {
     }
 }
 
+/// Does a message between `a` and `b` cross the labelled Alice/Bob cut?
+#[inline]
+fn crosses_cut(cut: Option<&[Side]>, a: NodeId, b: NodeId) -> bool {
+    match cut {
+        Some(cut) => {
+            let (sa, sb) = (cut[a], cut[b]);
+            sa != sb && sa != Side::Neutral && sb != Side::Neutral
+        }
+        None => false,
+    }
+}
+
+/// Appends one delivered message's destination bookkeeping: histogram,
+/// first-touch registration, receiver activation. Shared by the due and
+/// fresh legs of [`commit_round_faulty`]; mirrors the corresponding
+/// lines of [`commit_round`].
+#[inline]
+fn deliver_to(
+    sc: &mut EngineScratch,
+    port: Port,
+    edge_ports: &[(u32, u32)],
+    full_sweep: bool,
+    g: u64,
+) {
+    let dest = port.peer;
+    sc.dests.push(dest as u32);
+    sc.recv_ports.push(if port.outgoing {
+        edge_ports[port.link].1
+    } else {
+        edge_ports[port.link].0
+    });
+    if sc.count_stamp[dest] != g {
+        sc.count_stamp[dest] = g;
+        sc.counts[dest] = 0;
+        sc.touched.push(dest as u32);
+    }
+    sc.counts[dest] += 1;
+    if !full_sweep && sc.active_stamp[dest] != g + 1 {
+        sc.active_stamp[dest] = g + 1;
+        sc.next_active.push(dest as u32);
+    }
+}
+
+/// The fault-aware twin of [`commit_round`].
+///
+/// Every staged send passes the CONGEST occupancy and bandwidth checks
+/// first — faults never excuse a protocol bug — and only then does the
+/// attached [`FaultPlan`] seal its fate: deliver, drop (endpoint
+/// crashed, link down, or bad luck, checked in that order), or delay.
+/// Due delayed messages are delivered ahead of the round's fresh sends
+/// (they have been on the wire longest; the fixed position keeps inbox
+/// order deterministic), bypass the occupancy re-check (the wire, not a
+/// sender, holds them), and are charged to [`RunStats`] at actual
+/// delivery.
+///
+/// Returns delivered messages *plus* messages still in flight, so a
+/// network with pending delayed traffic never looks quiescent.
+#[allow(clippy::too_many_arguments)]
+fn commit_round_faulty<M>(
+    sc: &mut EngineScratch,
+    stats: &mut RunStats,
+    fr: &mut FaultRun<'_, M>,
+    staging: &mut Vec<(NodeId, u32, Option<M>)>,
+    arena: &mut Vec<(u32, M)>,
+    ports: &[Vec<Port>],
+    edge_ports: &[(u32, u32)],
+    cut: Option<&[Side]>,
+    bandwidth: u64,
+    full_sweep: bool,
+    round: u64,
+    g: u64,
+    bits_of: impl Fn(&M) -> u64,
+) -> u64 {
+    sc.touched.clear();
+    sc.dests.clear();
+    sc.recv_ports.clear();
+    fr.payload.clear();
+    let events_before = fr.stats.total_dropped() + fr.stats.delayed + fr.stats.delivered_late;
+    // Pull this round's due delayed messages, preserving send order.
+    fr.due.clear();
+    {
+        let FaultRun { delayed, due, .. } = fr;
+        delayed.retain_mut(|(due_round, sender, port_idx, msg)| {
+            if *due_round == round {
+                due.push((*sender, *port_idx, msg.take()));
+                false
+            } else {
+                true
+            }
+        });
+    }
+    let due_count = fr.due.len();
+    for (j, &(sender, port_idx, ref msg)) in fr.due.iter().enumerate() {
+        let port = ports[sender][port_idx as usize];
+        let bits = bits_of(msg.as_ref().expect("delayed message present"));
+        stats.messages += 1;
+        stats.bits += bits;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        if crosses_cut(cut, sender, port.peer) {
+            stats.cut_bits += bits;
+        }
+        fr.stats.delivered_late += 1;
+        deliver_to(sc, port, edge_ports, full_sweep, g);
+        fr.payload.push(j as u32);
+    }
+    for i in 0..staging.len() {
+        let (sender, port_idx) = (staging[i].0, staging[i].1);
+        let port = ports[sender][port_idx as usize];
+        let dir = 2 * port.link + usize::from(!port.outgoing);
+        assert_ne!(
+            sc.occupied[dir],
+            g,
+            "CONGEST violation: two messages on link {} direction {} in round {} \
+             (sender {})",
+            port.link,
+            usize::from(!port.outgoing),
+            round,
+            sender
+        );
+        sc.occupied[dir] = g;
+        let bits = bits_of(staging[i].2.as_ref().expect("staged message present"));
+        assert!(
+            bits <= bandwidth,
+            "CONGEST violation: {bits}-bit message exceeds bandwidth {bandwidth} \
+             (sender {sender})",
+        );
+        // The protocol passed its checks; now the wire decides.
+        if fr.plan.node_down(sender, round) || fr.plan.node_down(port.peer, round) {
+            fr.stats.dropped_node_down += 1;
+            continue;
+        }
+        if fr.plan.link_down(port.link, round) {
+            fr.stats.dropped_link_down += 1;
+            continue;
+        }
+        match fr.plan.fate(round, port.link, port.outgoing) {
+            Fate::Drop => {
+                fr.stats.dropped_random += 1;
+                continue;
+            }
+            Fate::Delay(extra) => {
+                fr.stats.delayed += 1;
+                let msg = staging[i].2.take();
+                fr.delayed.push((round + extra, sender, port_idx, msg));
+                continue;
+            }
+            Fate::Deliver => {}
+        }
+        stats.messages += 1;
+        stats.bits += bits;
+        stats.max_message_bits = stats.max_message_bits.max(bits);
+        if crosses_cut(cut, sender, port.peer) {
+            stats.cut_bits += bits;
+        }
+        deliver_to(sc, port, edge_ports, full_sweep, g);
+        fr.payload.push((due_count + i) as u32);
+    }
+    let delivered = fr.payload.len() as u64;
+    finish_order(sc, g);
+    arena.clear();
+    {
+        let FaultRun { due, payload, .. } = fr;
+        arena.extend(sc.order.iter().map(|&k| {
+            let k = k as usize;
+            let pi = payload[k] as usize;
+            let msg = if pi < due_count {
+                due[pi].2.take()
+            } else {
+                staging[pi - due_count].2.take()
+            }
+            .expect("each delivered message is materialized exactly once");
+            (sc.recv_ports[k], msg)
+        }));
+    }
+    staging.clear();
+    let events_after = fr.stats.total_dropped() + fr.stats.delayed + fr.stats.delivered_late;
+    if events_after != events_before {
+        fr.stats.faulty_rounds += 1;
+    }
+    delivered + fr.delayed.len() as u64
+}
+
+/// Phases 2 and 3 of the parallel pipeline (the fault-free path): merge
+/// the shard histograms in ascending shard order — reproducing the
+/// sequential first-touch destination order exactly, because the
+/// sequential staging is the ascending-shard concatenation of the shard
+/// stagings — prefix-scan the arena layout, and gather the inbox
+/// slices, fanning out when the round's traffic justifies it. Returns
+/// the number of staged messages.
+#[allow(clippy::too_many_arguments)]
+fn merge_scan_gather<M: Clone + Send + Sync>(
+    sc: &mut EngineScratch,
+    stats: &mut RunStats,
+    shard_staging: &mut [Vec<(NodeId, u32, Option<M>)>],
+    gather_bufs: &mut [Vec<(u32, M)>],
+    arena: &mut Vec<(u32, M)>,
+    pool: &shardpool::Pool,
+    shards: usize,
+    msg_threshold: usize,
+    full_sweep: bool,
+    g: u64,
+) -> u64 {
+    sc.touched.clear();
+    let mut sent = 0u64;
+    for scr in &sc.shard_scratch[..shards] {
+        stats.messages += scr.messages;
+        stats.bits += scr.bits;
+        stats.max_message_bits = stats.max_message_bits.max(scr.max_bits);
+        stats.cut_bits += scr.cut_bits;
+        sent += scr.dests.len() as u64;
+        for &d in &scr.touched {
+            let du = d as usize;
+            if sc.count_stamp[du] != g {
+                sc.count_stamp[du] = g;
+                sc.counts[du] = 0;
+                sc.touched.push(d);
+                if !full_sweep && sc.active_stamp[du] != g + 1 {
+                    sc.active_stamp[du] = g + 1;
+                    sc.next_active.push(d);
+                }
+            }
+            sc.counts[du] += scr.local_count[du];
+        }
+    }
+    // Exclusive prefix scan: each touched destination gets its
+    // contiguous arena slice, laid out exactly as the sequential
+    // counting sort would.
+    sc.touched_prefix.clear();
+    sc.touched_prefix.push(0);
+    let mut offset: u32 = 0;
+    for &d in &sc.touched {
+        let du = d as usize;
+        sc.inbox_start[du] = offset;
+        sc.inbox_len[du] = sc.counts[du];
+        sc.inbox_stamp[du] = g + 1;
+        offset += sc.counts[du];
+        sc.touched_prefix.push(offset as u64);
+    }
+    debug_assert_eq!(offset as u64, sent);
+    // ===== Phase 3: gather (workers) =====
+    arena.clear();
+    if sent >= msg_threshold.max(2) as u64 {
+        // Destination ranges balanced by message count; each worker
+        // fills its ranges' inbox slices by walking the shard sort
+        // orders shard-ascending.
+        let ranges = shardpool::weighted_chunks(&sc.touched_prefix, shards);
+        let touched: &[u32] = &sc.touched;
+        let shard_sc: &[ShardScratch] = &sc.shard_scratch[..shards];
+        let shard_msgs: &[Vec<(NodeId, u32, Option<M>)>] = &*shard_staging;
+        let mut gitems: Vec<GatherItem<'_, M>> = gather_bufs
+            .iter_mut()
+            .zip(&ranges)
+            .map(|(buf, &(tlo, thi))| GatherItem { buf, tlo, thi })
+            .collect();
+        pool.run(&mut gitems, |_, it| {
+            it.buf.clear();
+            for &d in &touched[it.tlo..it.thi] {
+                let du = d as usize;
+                for (scr, msgs) in shard_sc.iter().zip(shard_msgs) {
+                    if scr.count_stamp[du] != g {
+                        continue;
+                    }
+                    let end = scr.local_start[du] as usize;
+                    let cnt = scr.local_count[du] as usize;
+                    for &i in &scr.order[end - cnt..end] {
+                        let i = i as usize;
+                        let msg = msgs[i].2.as_ref().expect("staged message present").clone();
+                        it.buf.push((scr.recv_ports[i], msg));
+                    }
+                }
+            }
+        });
+        drop(gitems);
+        for buf in gather_bufs.iter_mut() {
+            arena.append(buf);
+        }
+    } else {
+        // Low traffic: gather on this thread, moving the messages out
+        // of the shard stagings instead of cloning them.
+        for &d in &sc.touched {
+            let du = d as usize;
+            for (scr, msgs) in sc.shard_scratch[..shards]
+                .iter()
+                .zip(shard_staging.iter_mut())
+            {
+                if scr.count_stamp[du] != g {
+                    continue;
+                }
+                let end = scr.local_start[du] as usize;
+                let cnt = scr.local_count[du] as usize;
+                for &i in &scr.order[end - cnt..end] {
+                    let i = i as usize;
+                    let msg = msgs[i]
+                        .2
+                        .take()
+                        .expect("each staged message is delivered exactly once");
+                    arena.push((scr.recv_ports[i], msg));
+                }
+            }
+        }
+    }
+    for msgs in shard_staging.iter_mut() {
+        msgs.clear();
+    }
+    sent
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1658,7 +2077,17 @@ mod tests {
         let mut net = Network::new(&g);
         let mut p = Flood::new(10);
         let err = net.run_until_quiet("flood", &mut p, 3);
-        assert_eq!(err, Err(EngineError::RoundLimitExceeded { max_rounds: 3 }));
+        assert_eq!(
+            err,
+            Err(EngineError::RoundLimitExceeded {
+                max_rounds: 3,
+                rounds: 3,
+                // Traffic is dense relative to n, so the engine sweeps
+                // all 10 nodes; in round 2 node 2 forwards on both ports.
+                last_active: 10,
+                last_messages: 2,
+            })
+        );
         // Node 9 cannot have heard anything within 3 rounds.
         assert!(p.heard[9].is_none());
     }
@@ -1868,5 +2297,117 @@ mod tests {
         assert_eq!(word_bits(2), 2);
         assert_eq!(word_bits(255), 8);
         assert_eq!(word_bits(256), 9);
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        // The fault-aware commit path must be a bit-exact stand-in for
+        // the plain one when the plan never fires.
+        let g = line(7);
+        let mut plain = Network::new(&g);
+        let mut pp = Flood::new(7);
+        let sp = plain.run_until_quiet("flood", &mut pp, 100).unwrap();
+        let mut faulty = Network::new(&g);
+        faulty.set_fault_plan(Some(FaultPlan::new(42)));
+        let mut pf = Flood::new(7);
+        let sf = faulty.run_until_quiet("flood", &mut pf, 100).unwrap();
+        assert_eq!(sp, sf);
+        assert_eq!(pp.heard, pf.heard);
+        assert!(faulty.metrics().faults.is_zero());
+        assert_eq!(plain.metrics(), faulty.metrics());
+    }
+
+    #[test]
+    fn downed_link_severs_the_flood() {
+        // Link 2 (between nodes 2 and 3) is down forever: the token
+        // reaches nodes 0..=2 only, and the loss is itemized.
+        let g = line(6);
+        let mut net = Network::new(&g);
+        net.set_fault_plan(Some(FaultPlan::new(7).fail_link(2, 0, None)));
+        let mut p = Flood::new(6);
+        net.run_until_quiet("flood", &mut p, 100).unwrap();
+        assert_eq!(p.heard[..3], [Some(0), Some(1), Some(2)]);
+        assert_eq!(p.heard[3..], [None, None, None]);
+        let fs = net.metrics().faults;
+        assert_eq!(fs.dropped_link_down, 1);
+        assert_eq!(fs.total_dropped(), 1);
+        assert_eq!(fs.faulty_rounds, 1);
+    }
+
+    #[test]
+    fn crashed_node_is_silent_until_restart() {
+        // Node 1 is down for rounds [0, 4): the metronome's sends at
+        // rounds 0 and 3 vanish, the round-6 send lands after restart.
+        let g = line(2);
+        let mut net = Network::new(&g);
+        net.set_fault_plan(Some(FaultPlan::new(9).crash_node(1, 0, Some(4))));
+        let mut p = Metronome {
+            period: 3,
+            ticks_heard: 0,
+        };
+        let stats = net.run_rounds("metronome", &mut p, 10);
+        assert_eq!(p.ticks_heard, 1);
+        // Rounds 6 and 9 sends are delivered (the round-9 one unobserved).
+        assert_eq!(stats.messages, 2);
+        let fs = net.metrics().faults;
+        assert_eq!(fs.dropped_node_down, 2);
+        assert_eq!(fs.faulty_rounds, 2);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_and_keep_the_network_awake() {
+        // Every message is delayed by exactly one round (max_delay = 1).
+        // The flood still completes — run_until_quiet must not declare
+        // quiescence while traffic is in flight — and every delay is
+        // eventually accounted as a late delivery.
+        let g = line(5);
+        let mut plain = Network::new(&g);
+        let mut pp = Flood::new(5);
+        let sp = plain.run_until_quiet("flood", &mut pp, 100).unwrap();
+        let mut net = Network::new(&g);
+        net.set_fault_plan(Some(FaultPlan::new(11).delay_messages(1.0, 1)));
+        let mut p = Flood::new(5);
+        let stats = net.run_until_quiet("flood", &mut p, 100).unwrap();
+        assert_eq!(p.heard.iter().filter(|h| h.is_some()).count(), 5);
+        let fs = net.metrics().faults;
+        assert!(fs.delayed > 0);
+        assert_eq!(fs.delayed, fs.delivered_late);
+        assert_eq!(fs.total_dropped(), 0);
+        // Same deliveries, one round later each: message count is
+        // preserved, rounds stretch.
+        assert_eq!(stats.messages, sp.messages);
+        assert!(stats.rounds > sp.rounds);
+    }
+
+    #[test]
+    fn identical_fault_plans_give_identical_metrics() {
+        // Seeded fates are a pure function of message identity, so two
+        // runs of the same plan agree on Metrics — whose equality
+        // includes FaultStats.
+        let g = line(8);
+        let mk = || {
+            FaultPlan::new(1234)
+                .fail_link(4, 2, Some(5))
+                .drop_messages(0.3)
+        };
+        let run = |plan: FaultPlan| {
+            let mut net = Network::new(&g);
+            net.set_fault_plan(Some(plan));
+            let mut p = Flood::new(8);
+            net.run_rounds("flood", &mut p, 20);
+            (p.heard, net.metrics().clone())
+        };
+        let (h1, m1) = run(mk());
+        let (h2, m2) = run(mk());
+        assert_eq!(h1, h2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets edge 99 but the graph has 2 edges")]
+    fn fault_plan_validation_rejects_unknown_links() {
+        let g = line(3);
+        let mut net = Network::new(&g);
+        net.set_fault_plan(Some(FaultPlan::new(1).fail_link(99, 0, None)));
     }
 }

@@ -93,7 +93,7 @@ pub fn solve_on(
         &cfg,
         |e| inst.in_g_minus_p(e),
         "mr24/path-bfs",
-        default_budget(h + 1, zeta as u64) * 2,
+        default_budget(h + 1, zeta as u64) * 2 * params.budget_factor,
     )
     .expect("path BFS quiesces");
     // Locally: X[i, >= i+d] tables, then the same O(ζ') pipelined DP.
@@ -144,7 +144,7 @@ pub fn solve_on(
             &fwd_cfg,
             |e| inst.in_g_minus_p(e),
             "mr24/landmark-bfs-fwd",
-            default_budget(k, zeta as u64) * 2,
+            default_budget(k, zeta as u64) * 2 * params.budget_factor,
         )
         .expect("landmark BFS quiesces");
         let bwd_cfg = MultiBfsConfig {
@@ -158,7 +158,7 @@ pub fn solve_on(
             &bwd_cfg,
             |e| inst.in_g_minus_p(e),
             "mr24/landmark-bfs-bwd",
-            default_budget(k, zeta as u64) * 2,
+            default_budget(k, zeta as u64) * 2 * params.budget_factor,
         )
         .expect("landmark BFS quiesces");
 

@@ -218,7 +218,7 @@ pub fn acquire(
         },
         nodes: vec![WaveState::default(); n],
     };
-    let budget = 4 * (h as u64 + 4);
+    let budget = 4 * (h as u64 + 4) * params.budget_factor;
     net.run_until_quiet_par("lemma2.5/waves", &mut proto, budget)
         .expect("waves terminate within the path length");
     // Per path position: the wave state of the vertex at that position.

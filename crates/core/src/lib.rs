@@ -15,6 +15,12 @@
 //!   replacement length, aggregated in `O(D)` extra rounds.
 //! - [`reachability`] — the yes/no variant from the paper's open
 //!   problems (Section 8): which path edges are survivable at all.
+//! - [`resilient`] — recovering wrappers around all of the above:
+//!   [`resilient::solve_with_recovery`] detects the permanent faults of
+//!   a `congest::FaultPlan`, re-poses the demand on the source's
+//!   surviving component, and retries with exponential round-budget
+//!   backoff, returning a structured degraded answer instead of
+//!   all-or-nothing failure.
 //! - [`baseline`] — what the paper compares against: the trivial
 //!   `O(h_st · T_SSSP)` algorithm and the `eO(n^{2/3} + √(n·h_st) + D)`
 //!   algorithm of Manoharan and Ramachandran (SIROCCO 2024).
@@ -56,6 +62,7 @@ pub mod knowledge;
 pub mod long;
 mod params;
 pub mod reachability;
+pub mod resilient;
 pub mod short;
 pub mod sisp;
 pub mod unweighted;

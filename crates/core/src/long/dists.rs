@@ -60,7 +60,7 @@ pub fn landmark_distances(
 ) -> LandmarkDistances {
     let k = landmarks.len();
     let zeta = params.zeta as u64;
-    let budget = default_budget(k, zeta).max(8 * net.node_count() as u64);
+    let budget = default_budget(k, zeta).max(8 * net.node_count() as u64) * params.budget_factor;
 
     // ζ-hop BFS from all landmarks, forwards and backwards, in G \ P.
     let fwd_cfg = MultiBfsConfig {

@@ -23,6 +23,14 @@ pub struct Params {
     pub eps_num: u64,
     /// See [`Params::eps_num`].
     pub eps_den: u64,
+    /// Multiplier on every internal round budget (default `1`).
+    ///
+    /// The budgets are sized for healthy networks; under fault
+    /// injection, message delay stretches every phase. The recovery
+    /// wrapper (`crate::resilient`) retries with a doubled factor after
+    /// each [`crate::SolveError::Engine`] round-limit failure, so a
+    /// solve that merely ran long gets more headroom instead of dying.
+    pub budget_factor: u64,
 }
 
 impl Params {
@@ -54,7 +62,19 @@ impl Params {
             seed: 0x5eed,
             eps_num: 1,
             eps_den: 2,
+            budget_factor: 1,
         }
+    }
+
+    /// Replaces the round-budget multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (a zero budget can never finish).
+    pub fn with_budget_factor(mut self, factor: u64) -> Params {
+        assert!(factor >= 1, "budget factor must be at least 1");
+        self.budget_factor = factor;
+        self
     }
 
     /// Replaces the seed.

@@ -1,0 +1,543 @@
+//! Recovering solvers: fault-aware, bounded-retry wrappers around the
+//! paper's algorithms.
+//!
+//! The solvers in this crate are all-or-nothing: a partitioned
+//! communication graph or an exhausted round budget is a [`SolveError`]
+//! and the caller gets no answer at all. That is the right contract for
+//! reproducing the paper's theorems, but not for the fault campaigns:
+//! a network that lost a link is *degraded*, not useless — the paper's
+//! own object (shortest paths avoiding a failed edge) exists precisely
+//! because routes survive failures.
+//!
+//! [`solve_with_recovery`] closes that gap in three moves:
+//!
+//! 1. **Detect.** The steady state of a [`FaultPlan`] (faults that never
+//!    recover) is probed with a distributed BFS-tree build on a network
+//!    running [`FaultPlan::steady`]; a `Disconnected` witness is the
+//!    distributed evidence of a partition, cross-checked against a local
+//!    computation of the source's surviving component.
+//! 2. **Re-plan.** The solve is restricted to the source's surviving
+//!    component: crashed nodes and downed links are removed, surviving
+//!    nodes are remapped in ascending order (so the sub-solve is as
+//!    deterministic as the original), and the demand is re-posed there.
+//! 3. **Retry.** Each solve attempt runs with an exponentially growing
+//!    [`Params::budget_factor`] ([`RecoveryPolicy::backoff`]), so an
+//!    engine budget exhausted by fault-stretched phases gets more
+//!    headroom instead of failing the campaign.
+//!
+//! The result is a structured [`Recovery`]: [`Recovery::Full`] when the
+//! steady state is fault-free, [`Recovery::Degraded`] — with the partial
+//! answer, the surviving route, and the unreachable nodes — when it is
+//! not. Only a crashed source or exhausted retries are hard errors.
+
+use congest::bfs_tree::{build_bfs_tree, TreeError};
+use congest::{FaultPlan, Network};
+use graphkit::{DiGraph, Dist, EdgeId, GraphBuilder, NodeId};
+
+use crate::weighted::ScaledAnswers;
+use crate::{
+    reachability, sisp, unweighted, weighted, Instance, InstanceError, Params, SolveError,
+};
+
+/// A solver that can be retried on a (re-posed) instance.
+///
+/// Implementations are unit structs selecting one of the crate's
+/// algorithms; the output is the answer alone — recovery is about
+/// *answers surviving faults*, so per-run telemetry is dropped.
+pub trait RecoverableSolver {
+    /// The solver's answer.
+    type Output;
+
+    /// Human-readable solver name, used in campaign records.
+    const NAME: &'static str;
+
+    /// Runs one attempt on a healthy instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped solver's [`SolveError`].
+    fn attempt(inst: &Instance<'_>, params: &Params) -> Result<Self::Output, SolveError>;
+}
+
+/// Theorem 1: exact unweighted replacement lengths, per path edge.
+pub struct Unweighted;
+
+impl RecoverableSolver for Unweighted {
+    type Output = Vec<Dist>;
+    const NAME: &'static str = "unweighted";
+
+    fn attempt(inst: &Instance<'_>, params: &Params) -> Result<Vec<Dist>, SolveError> {
+        unweighted::solve(inst, params).map(|o| o.replacement)
+    }
+}
+
+/// Theorem 3: `(1+ε)`-approximate weighted replacement lengths.
+pub struct Weighted;
+
+impl RecoverableSolver for Weighted {
+    type Output = ScaledAnswers;
+    const NAME: &'static str = "weighted";
+
+    fn attempt(inst: &Instance<'_>, params: &Params) -> Result<ScaledAnswers, SolveError> {
+        weighted::solve(inst, params).map(|o| ScaledAnswers {
+            scaled: o.scaled,
+            den: o.den,
+        })
+    }
+}
+
+/// The 2-SiSP value (Definition 2.3).
+pub struct Sisp;
+
+impl RecoverableSolver for Sisp {
+    type Output = Dist;
+    const NAME: &'static str = "sisp";
+
+    fn attempt(inst: &Instance<'_>, params: &Params) -> Result<Dist, SolveError> {
+        sisp::solve(inst, params).map(|o| o.value)
+    }
+}
+
+/// Replacement reachability (Section 8), per path edge.
+pub struct Reachability;
+
+impl RecoverableSolver for Reachability {
+    type Output = Vec<bool>;
+    const NAME: &'static str = "reachability";
+
+    fn attempt(inst: &Instance<'_>, params: &Params) -> Result<Vec<bool>, SolveError> {
+        reachability::solve(inst, params).map(|o| o.survivable)
+    }
+}
+
+/// Retry and backoff knobs for [`solve_with_recovery`].
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// Solve attempts per instance before giving up (at least 1).
+    pub max_attempts: u32,
+    /// Round-budget multiplier applied after each budget-exhausted
+    /// attempt (exponential backoff; at least 1).
+    pub backoff: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff: 2,
+        }
+    }
+}
+
+/// Outcome of a recovering solve.
+#[derive(Clone, Debug)]
+pub enum Recovery<T> {
+    /// The steady state is fault-free; the answer is for the instance
+    /// exactly as posed.
+    Full {
+        /// The solver's answer.
+        output: T,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// Permanent faults changed the instance; the answer (if any) is for
+    /// the demand re-posed on the source's surviving component.
+    Degraded(Degraded<T>),
+}
+
+impl<T> Recovery<T> {
+    /// The answer, full or degraded, when one was produced.
+    pub fn answered(&self) -> Option<&T> {
+        match self {
+            Recovery::Full { output, .. } => Some(output),
+            Recovery::Degraded(d) => d.answered.as_ref(),
+        }
+    }
+
+    /// `true` for [`Recovery::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Recovery::Degraded(_))
+    }
+
+    /// Solve attempts consumed (0 when the partition made a solve moot).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            Recovery::Full { attempts, .. } => *attempts,
+            Recovery::Degraded(d) => d.attempts,
+        }
+    }
+}
+
+/// A solve that survived permanent faults in degraded form.
+#[derive(Clone, Debug)]
+pub struct Degraded<T> {
+    /// The answer on the surviving component, or `None` when the target
+    /// itself is severed from the source.
+    pub answered: Option<T>,
+    /// The surviving shortest `s`-`t` route, in *original* node ids.
+    pub path: Option<Vec<NodeId>>,
+    /// Nodes outside the source's surviving component (original ids,
+    /// ascending; includes crashed nodes).
+    pub unreachable: Vec<NodeId>,
+    /// Solve attempts consumed (0 when the target was unreachable).
+    pub attempts: u32,
+}
+
+/// Why recovery itself failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The source node is crashed in the steady state: nothing can even
+    /// pose the demand.
+    SourceDown,
+    /// The demand was invalid before any fault was applied.
+    Instance(InstanceError),
+    /// Every attempt failed; `last` is the final solver error.
+    Exhausted {
+        /// Attempts consumed.
+        attempts: u32,
+        /// The last attempt's error.
+        last: SolveError,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::SourceDown => write!(f, "source node is crashed in the steady state"),
+            RecoveryError::Instance(e) => write!(f, "invalid demand: {e}"),
+            RecoveryError::Exhausted { attempts, last } => {
+                write!(f, "recovery exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Solves the `(s, t)` replacement-paths demand on `graph` under the
+/// *permanent* faults of `plan`, degrading instead of dying.
+///
+/// Transient faults (link flaps and crashes that recover, probabilistic
+/// drop/delay) do not change the steady-state topology: the demand is
+/// solved as posed and returned as [`Recovery::Full`]. Permanent faults
+/// are detected with a distributed BFS-tree probe under
+/// [`FaultPlan::steady`], the demand is re-posed on the source's
+/// surviving component, and the result comes back as
+/// [`Recovery::Degraded`]. Budget-exhausted attempts are retried up to
+/// [`RecoveryPolicy::max_attempts`] times with exponentially growing
+/// round budgets.
+///
+/// # Errors
+///
+/// [`RecoveryError::SourceDown`] when `s` is crashed in the steady
+/// state, [`RecoveryError::Instance`] when the demand was invalid before
+/// faults, [`RecoveryError::Exhausted`] when every attempt failed.
+///
+/// # Panics
+///
+/// Panics if `policy.max_attempts` or `policy.backoff` is zero, or if
+/// the plan targets links or nodes outside `graph`.
+pub fn solve_with_recovery<S: RecoverableSolver>(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    plan: &FaultPlan,
+    params: &Params,
+    policy: &RecoveryPolicy,
+) -> Result<Recovery<S::Output>, RecoveryError> {
+    assert!(policy.max_attempts >= 1, "at least one attempt is needed");
+    assert!(policy.backoff >= 1, "backoff must not shrink the budget");
+    let steady = plan.steady();
+    let horizon = plan.horizon();
+    if steady.node_down(s, horizon) {
+        return Err(RecoveryError::SourceDown);
+    }
+    let downed_links = plan.links_down_at(horizon);
+    let crashed = plan.nodes_down_at(horizon);
+    if downed_links.is_empty() && crashed.is_empty() {
+        // Transient faults only: the steady-state graph *is* the graph.
+        let inst = Instance::from_endpoints(graph, s, t).map_err(RecoveryError::Instance)?;
+        let (output, attempts) = retry::<S>(&inst, params, policy)?;
+        return Ok(Recovery::Full { output, attempts });
+    }
+
+    // Distributed detection: a BFS-tree probe under the steady-state
+    // plan either spans (still connected) or returns the Disconnected
+    // witness. The local component computation below must agree — the
+    // probe is the distributed evidence, the local pass the ground
+    // truth we re-plan from.
+    let mut probe_net = Network::new(graph);
+    probe_net.set_fault_plan(Some(steady));
+    let probe = build_bfs_tree(&mut probe_net, s);
+    let component = surviving_component(graph, s, &downed_links, &crashed);
+    match &probe {
+        Ok(_) => debug_assert_eq!(component.len(), graph.node_count()),
+        Err(TreeError::Disconnected { joined, .. }) => debug_assert_eq!(component.len(), *joined),
+        Err(_) => {}
+    }
+
+    let mut in_comp = vec![false; graph.node_count()];
+    for &v in &component {
+        in_comp[v] = true;
+    }
+    let unreachable: Vec<NodeId> = graph.nodes().filter(|&v| !in_comp[v]).collect();
+    if !in_comp[t] {
+        return Ok(Recovery::Degraded(Degraded {
+            answered: None,
+            path: None,
+            unreachable,
+            attempts: 0,
+        }));
+    }
+
+    // Re-pose the demand on the surviving component, nodes remapped in
+    // ascending order so the sub-solve is exactly as deterministic as
+    // the original.
+    let mut new_id = vec![usize::MAX; graph.node_count()];
+    for (i, &v) in component.iter().enumerate() {
+        new_id[v] = i;
+    }
+    let mut b = GraphBuilder::new(component.len());
+    for (id, e) in graph.edges() {
+        if downed_links.binary_search(&id).is_ok() || !in_comp[e.from] || !in_comp[e.to] {
+            continue;
+        }
+        b.add_edge(new_id[e.from], new_id[e.to], e.weight);
+    }
+    let sub = b.build();
+    let inst = match Instance::from_endpoints(&sub, new_id[s], new_id[t]) {
+        Ok(inst) => inst,
+        Err(InstanceError::Unreachable { .. }) => {
+            // Same undirected component, but no *directed* s-t route
+            // survives the failures.
+            return Ok(Recovery::Degraded(Degraded {
+                answered: None,
+                path: None,
+                unreachable,
+                attempts: 0,
+            }));
+        }
+        Err(e) => return Err(RecoveryError::Instance(e)),
+    };
+    let path: Vec<NodeId> = inst.path.nodes().iter().map(|&v| component[v]).collect();
+    let (output, attempts) = retry::<S>(&inst, params, policy)?;
+    Ok(Recovery::Degraded(Degraded {
+        answered: Some(output),
+        path: Some(path),
+        unreachable,
+        attempts,
+    }))
+}
+
+/// The retry loop: only engine budget exhaustion is retried (with the
+/// budget factor multiplied by `policy.backoff` each time); a
+/// partitioned network will not heal with more rounds.
+fn retry<S: RecoverableSolver>(
+    inst: &Instance<'_>,
+    params: &Params,
+    policy: &RecoveryPolicy,
+) -> Result<(S::Output, u32), RecoveryError> {
+    let mut factor = params.budget_factor;
+    let mut last = None;
+    for attempt in 1..=policy.max_attempts {
+        let p = params.clone().with_budget_factor(factor);
+        match S::attempt(inst, &p) {
+            Ok(out) => return Ok((out, attempt)),
+            Err(e @ SolveError::Engine(_)) => {
+                last = Some(e);
+                factor = factor.saturating_mul(policy.backoff);
+            }
+            Err(e) => {
+                return Err(RecoveryError::Exhausted {
+                    attempts: attempt,
+                    last: e,
+                })
+            }
+        }
+    }
+    Err(RecoveryError::Exhausted {
+        attempts: policy.max_attempts,
+        last: last.expect("loop ran at least once"),
+    })
+}
+
+/// The source's component in the undirected surviving graph: downed
+/// links and crashed nodes removed. Ascending node order.
+fn surviving_component(
+    graph: &DiGraph,
+    s: NodeId,
+    downed_links: &[EdgeId],
+    crashed: &[NodeId],
+) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut dead = vec![false; n];
+    for &v in crashed {
+        dead[v] = true;
+    }
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (id, e) in graph.edges() {
+        if downed_links.binary_search(&id).is_ok() || dead[e.from] || dead[e.to] {
+            continue;
+        }
+        adj[e.from].push(e.to);
+        adj[e.to].push(e.from);
+    }
+    let mut seen = vec![false; n];
+    seen[s] = true;
+    let mut stack = vec![s];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    (0..n).filter(|&v| seen[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::alg::replacement_lengths;
+    use graphkit::gen::metro_ring;
+
+    fn params_for(g: &DiGraph) -> Params {
+        Params::for_n(g.node_count())
+    }
+
+    #[test]
+    fn transient_faults_give_a_full_answer() {
+        let g = metro_ring(8);
+        let plan = FaultPlan::new(3).drop_messages(0.2);
+        let rec = solve_with_recovery::<Unweighted>(
+            &g,
+            0,
+            4,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        let Recovery::Full { output, attempts } = rec else {
+            panic!("transient faults must not degrade the instance");
+        };
+        assert_eq!(attempts, 1);
+        let inst = Instance::from_endpoints(&g, 0, 4).unwrap();
+        assert_eq!(output, replacement_lengths(&g, &inst.path));
+    }
+
+    #[test]
+    fn single_span_failure_degrades_but_answers() {
+        // Span 1 (nodes 1-2, edges 2 and 3) down forever: the ring stays
+        // connected and the demand survives along the long way round.
+        let g = metro_ring(8);
+        let plan = FaultPlan::new(5)
+            .fail_link(2, 0, None)
+            .fail_link(3, 0, None);
+        let rec = solve_with_recovery::<Unweighted>(
+            &g,
+            0,
+            4,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        let Recovery::Degraded(d) = rec else {
+            panic!("a permanent failure must report as degraded");
+        };
+        assert!(d.unreachable.is_empty());
+        assert_eq!(d.path.as_deref(), Some(&[0, 7, 6, 5, 4][..]));
+        let answers = d.answered.expect("ring survives one span failure");
+        // The surviving route has 4 edges; ring minus a span is a path
+        // graph, so no further failure is survivable.
+        assert_eq!(answers.len(), 4);
+        assert!(answers.iter().all(|a| !a.is_finite()));
+    }
+
+    #[test]
+    fn partition_reports_the_unreachable_half() {
+        // Spans 0 (edges 0, 1) and 4 (edges 8, 9) down: nodes 1..=4 are
+        // severed from the source's side.
+        let g = metro_ring(8);
+        let plan = FaultPlan::new(7)
+            .fail_link(0, 0, None)
+            .fail_link(1, 0, None)
+            .fail_link(8, 0, None)
+            .fail_link(9, 0, None);
+        let rec = solve_with_recovery::<Unweighted>(
+            &g,
+            0,
+            4,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        let Recovery::Degraded(d) = rec else {
+            panic!("a partition must report as degraded");
+        };
+        assert!(d.answered.is_none());
+        assert_eq!(d.unreachable, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn crashed_target_is_unreachable_not_an_error() {
+        let g = metro_ring(6);
+        let plan = FaultPlan::new(9).crash_node(3, 0, None);
+        let rec = solve_with_recovery::<Reachability>(
+            &g,
+            0,
+            3,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        let Recovery::Degraded(d) = rec else {
+            panic!("a crashed target must report as degraded");
+        };
+        assert!(d.answered.is_none());
+        assert_eq!(d.unreachable, vec![3]);
+    }
+
+    #[test]
+    fn crashed_source_is_a_hard_error() {
+        let g = metro_ring(6);
+        let plan = FaultPlan::new(11).crash_node(0, 0, None);
+        let err = solve_with_recovery::<Sisp>(
+            &g,
+            0,
+            3,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, RecoveryError::SourceDown);
+    }
+
+    #[test]
+    fn recovered_faults_do_not_degrade() {
+        // A span that fails but comes back up before the horizon leaves
+        // the steady state pristine.
+        let g = metro_ring(8);
+        let plan = FaultPlan::new(13)
+            .fail_link(2, 0, Some(10))
+            .crash_node(6, 2, Some(5));
+        let rec = solve_with_recovery::<Sisp>(
+            &g,
+            0,
+            4,
+            &plan,
+            &params_for(&g),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(!rec.is_degraded());
+        // Both ways round the ring have 4 hops: the second simple
+        // shortest path has length 4 as well.
+        assert_eq!(rec.answered(), Some(&Dist::new(4)));
+    }
+}

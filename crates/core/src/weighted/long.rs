@@ -29,6 +29,7 @@ pub fn approx_hop_multi_source(
     sources: &[NodeId],
     reverse: bool,
     phase: &str,
+    factor: u64,
 ) -> Vec<Vec<Dist>> {
     let n = inst.n();
     let k = sources.len();
@@ -40,7 +41,8 @@ pub fn approx_hop_multi_source(
             reverse,
             delays: Some(&scale.delays),
         };
-        let budget = default_budget(k, set.hop_cap).max(4 * set.hop_cap + 4 * k as u64 + 64);
+        let budget =
+            default_budget(k, set.hop_cap).max(4 * set.hop_cap + 4 * k as u64 + 64) * factor;
         let (hops, _) = multi_source_bfs(
             net,
             &cfg,
@@ -78,8 +80,24 @@ pub fn solve_long_apx(
         };
     }
     // Approximate hop-bounded distances from/to every landmark.
-    let fwd_hb = approx_hop_multi_source(net, inst, &set, &lms, false, "apx-long/bfs-fwd");
-    let bwd_hb = approx_hop_multi_source(net, inst, &set, &lms, true, "apx-long/bfs-bwd");
+    let fwd_hb = approx_hop_multi_source(
+        net,
+        inst,
+        &set,
+        &lms,
+        false,
+        "apx-long/bfs-fwd",
+        params.budget_factor,
+    );
+    let bwd_hb = approx_hop_multi_source(
+        net,
+        inst,
+        &set,
+        &lms,
+        true,
+        "apx-long/bfs-bwd",
+        params.budget_factor,
+    );
     // Lemma 5.4-style broadcast + closure + composition, on scaled values.
     let ld = compose_from_tables(net, inst, &lms, fwd_hb, bwd_hb, tree);
     // Scaled prefix/suffix distances along P.
@@ -132,7 +150,7 @@ mod tests {
             let set = ScaleSet::build(inst.graph, &params, params.zeta as u64);
             let sources = vec![s, t];
             let mut net = Network::new(inst.graph);
-            let got = approx_hop_multi_source(&mut net, &inst, &set, &sources, false, "t");
+            let got = approx_hop_multi_source(&mut net, &inst, &set, &sources, false, "t", 1);
             for (si, &src) in sources.iter().enumerate() {
                 let exact = dijkstra(inst.graph, src, |e| inst.in_g_minus_p(e));
                 for v in inst.graph.nodes() {

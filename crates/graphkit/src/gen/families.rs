@@ -173,6 +173,32 @@ pub fn two_hub(n: usize) -> DiGraph {
     b.build()
 }
 
+/// A metro ring: `pops` points of presence joined into a bidirectional
+/// cycle, the canonical 2-edge-connected carrier topology.
+///
+/// Every span (the antiparallel arc pair between adjacent PoPs) has a
+/// disjoint alternative route the long way around, so any *single* span
+/// failure leaves the ring connected — the design case for the fault
+/// campaigns: a degraded solve must still answer, just along the longer
+/// arc. Two span failures cut the ring into at most two segments.
+///
+/// Span `i` connects PoPs `i` and `(i + 1) % pops`; spans are added in
+/// ascending `i`, so the arcs of span `i` are edges `2i` (forward) and
+/// `2i + 1` (backward). The natural endpoints for a diameter-spanning
+/// demand are `s = 0` and `t = pops / 2`.
+///
+/// # Panics
+///
+/// Panics if `pops < 3` (a cycle needs three vertices).
+pub fn metro_ring(pops: usize) -> DiGraph {
+    assert!(pops >= 3, "a ring needs at least three points of presence");
+    let mut b = GraphBuilder::new(pops);
+    for i in 0..pops {
+        b.add_bidirectional(i, (i + 1) % pops);
+    }
+    b.build()
+}
+
 /// Preferential-attachment digraph with a power-law degree profile.
 ///
 /// Nodes arrive one at a time; node `v` attaches to an existing node
@@ -335,6 +361,28 @@ mod tests {
         let p = shortest_st_path(&g, s, t).unwrap();
         assert_eq!(p.hops(), 7);
         assert!(undirected_diameter(&g).is_some());
+    }
+
+    #[test]
+    fn metro_ring_is_a_bidirectional_cycle() {
+        let pops = 10;
+        let g = metro_ring(pops);
+        assert_eq!(g.node_count(), pops);
+        assert_eq!(g.edge_count(), 2 * pops);
+        // Span i = edges (2i, 2i + 1), antiparallel between i and i + 1.
+        for i in 0..pops {
+            let f = g.edge(2 * i);
+            let r = g.edge(2 * i + 1);
+            assert_eq!((f.from, f.to), (i, (i + 1) % pops));
+            assert_eq!((r.from, r.to), ((i + 1) % pops, i));
+        }
+        // Antipodal demand: shortest path is half the ring, and every
+        // single-edge failure has a finite replacement the long way round.
+        let p = shortest_st_path(&g, 0, pops / 2).unwrap();
+        assert_eq!(p.hops(), pops / 2);
+        let r = replacement_lengths(&g, &p);
+        assert!(r.iter().all(|d| d.is_finite()));
+        assert_eq!(undirected_diameter(&g), Some(pops / 2));
     }
 
     #[test]

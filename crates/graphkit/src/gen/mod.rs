@@ -24,13 +24,16 @@
 //! - [`star`], [`two_hub`], [`power_law_digraph`]: degree-skewed
 //!   topologies (one hub, two adjacent hubs, preferential attachment)
 //!   that stress degree-aware shard balancing in the parallel engine.
+//! - [`metro_ring`]: a bidirectional cycle of points of presence — the
+//!   2-edge-connected carrier topology the fault-injection campaigns
+//!   degrade one span at a time.
 
 mod families;
 mod random;
 
 pub use families::{
-    grid, layered_dag, parallel_lane, power_law_digraph, star, theorem2_family, two_hub,
-    Theorem2Instance,
+    grid, layered_dag, metro_ring, parallel_lane, power_law_digraph, star, theorem2_family,
+    two_hub, Theorem2Instance,
 };
 pub use random::{
     planted_path_digraph, random_digraph, random_reachable_pair, random_weighted_digraph,

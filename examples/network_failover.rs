@@ -8,16 +8,19 @@
 //! protection fiber is longer than the short-detour threshold ζ, so the
 //! landmark pipeline of Section 5 does the work.
 //!
-//! The second half simulates a *catastrophic* failure that partitions the
-//! network: the control plane must detect the partition as a recoverable
-//! error (no aborts) and report which side of the cut it can still see.
+//! The second half injects a scripted outage into a metro ring with a
+//! seeded `FaultPlan` — a PoP crashes and restarts, a fiber span flaps
+//! messages away, and one span is cut for good — and shows the control
+//! plane detecting the damage distributedly, then re-solving in degraded
+//! mode around the surviving topology.
 //!
 //! Run with: `cargo run --release -p rpaths --example network_failover`
 
-use congest::bfs_tree::{build_bfs_tree, TreeError};
-use congest::Network;
-use graphkit::gen::parallel_lane;
-use graphkit::{Dist, GraphBuilder};
+use congest::bfs_tree::build_bfs_tree;
+use congest::{FaultPlan, Network};
+use graphkit::gen::{metro_ring, parallel_lane};
+use graphkit::Dist;
+use rpaths_core::resilient::{solve_with_recovery, Recovery, RecoveryPolicy, Unweighted};
 use rpaths_core::{reachability, unweighted, Instance, Params};
 
 fn main() {
@@ -84,42 +87,78 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // Catastrophic failure: a fiber cut severs every link between two
-    // halves of a metro ring, partitioning the network. Global protocols
-    // cannot run — the control plane must see a *recoverable* error and
-    // report the partition instead of crashing.
+    // Scripted outage on a metro ring: PoP 6 crashes at round 2 and is
+    // restarted at round 30; the span between PoPs 2 and 3 (span 2 =
+    // links 4 and 5) is cut permanently; flaky hardware drops 2% of
+    // messages. All deterministic from one seed.
     // ------------------------------------------------------------------
-    println!("\n=== catastrophic fiber cut: partitioned metro ring ===");
-    let half = 12usize;
-    let mut b = GraphBuilder::new(2 * half);
-    for i in 0..half - 1 {
-        // West ring segment (nodes 0..half), east segment (half..2·half);
-        // the inter-segment links are the ones the cut severed.
-        b.add_bidirectional(i, i + 1);
-        b.add_bidirectional(half + i, half + i + 1);
-    }
-    let cut_ring = b.build();
-    let mut net = Network::new(&cut_ring);
-    match build_bfs_tree(&mut net, 0) {
-        Ok(_) => unreachable!("the cut severed the ring"),
-        Err(TreeError::Disconnected {
-            joined,
-            total,
-            witness,
-        }) => {
-            println!(
-                "partition detected: control plane at PoP 0 reaches {joined} of \
-                 {total} PoPs (first unreachable: PoP {witness})"
-            );
-            println!("-> degraded mode: serving the west segment only, paging ops");
+    println!("\n=== scripted outage: crash, restart, and a severed span ===");
+    let pops = 24;
+    let ring = metro_ring(pops);
+    let plan = FaultPlan::new(0xc0ffee)
+        .crash_node(6, 2, Some(30))
+        .fail_link(4, 0, None)
+        .fail_link(5, 0, None)
+        .drop_messages(0.02);
+
+    // Live detection: the control plane at PoP 0 floods a BFS tree under
+    // the outage. While PoP 6 is dark the tree cannot span; each retry
+    // re-anchors the plan to the rounds already burned, and the build
+    // succeeds once the PoP restarts.
+    let mut net = Network::new(&ring);
+    net.set_fault_plan(Some(plan.clone()));
+    let mut probes = 0;
+    loop {
+        probes += 1;
+        match build_bfs_tree(&mut net, 0) {
+            Ok(_) => break,
+            Err(e) => println!("  probe {probes}: {e}"),
         }
-        Err(e) => panic!("unexpected engine failure: {e}"),
+        assert!(probes < 16, "the outage script recovers by round 30");
+        net.set_fault_plan(Some(plan.shifted(net.metrics().rounds())));
     }
-    // The instance layer refuses partitioned communication graphs too —
-    // also recoverably.
-    match Instance::from_endpoints(&cut_ring, 0, half - 1) {
-        Ok(_) => println!("note: route stayed within one segment"),
-        Err(e) => println!("instance-level report: {e}"),
+    let faults = net.metrics().faults;
+    println!(
+        "partition healed: probe {probes} spanned after {} rounds \
+         ({} crash-dropped, {} link-dropped, {} randomly dropped messages)",
+        net.metrics().rounds(),
+        faults.dropped_node_down,
+        faults.dropped_link_down,
+        faults.dropped_random,
+    );
+
+    // Degraded solve: the crash recovered but the severed span did not.
+    // The recovery wrapper re-poses the 0 -> 12 demand on the surviving
+    // ring and answers along the long way round.
+    let rec = solve_with_recovery::<Unweighted>(
+        &ring,
+        0,
+        pops / 2,
+        &plan,
+        &Params::for_n(pops),
+        &RecoveryPolicy::default(),
+    )
+    .expect("the ring survives a single severed span");
+    match rec {
+        Recovery::Full { .. } => unreachable!("span 2 is down for good"),
+        Recovery::Degraded(d) => {
+            let route = d.path.expect("ring minus one span stays connected");
+            println!(
+                "degraded solve: rerouted 0 -> {} over {} hops ({} unreachable PoPs, \
+                 {} solve attempt(s))",
+                pops / 2,
+                route.len() - 1,
+                d.unreachable.len(),
+                d.attempts,
+            );
+            println!("  surviving route: {route:?}");
+            let answers = d.answered.expect("demand survives the outage");
+            let protected = answers.iter().filter(|a| a.is_finite()).count();
+            println!(
+                "  on the degraded ring, {protected} of {} route links still have a reroute",
+                answers.len()
+            );
+        }
     }
-    println!("(partition handled without aborting)");
+    println!("(outage handled without aborting)");
 }

@@ -26,7 +26,7 @@ use congest::bfs_tree::build_bfs_tree;
 use congest::broadcast::broadcast;
 use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
 use congest::pipeline::{diagonal_dp, prefix_sweep, Lane};
-use congest::{Network, RunStats, Side};
+use congest::{FaultPlan, Network, NodeCtx, RunStats, Scheduling, ShardedProtocol, Side};
 use graphkit::gen::{planted_path_digraph, random_digraph};
 use graphkit::{Dist, GraphBuilder};
 use proptest::prelude::*;
@@ -456,6 +456,144 @@ fn parallel_weighted_solver_matches_sequential_bitwise() {
         }
     }
     assert!(tested >= 1, "no usable weighted instance");
+}
+
+// ---------------------------------------------------------------------
+// Chaos matrix: deterministic fault injection under the parallel
+// engine. A fixed FaultPlan seed must produce bit-identical delivery
+// logs, RunStats, and FaultStats at every thread count and schedule,
+// because every per-message fate is a pure function of
+// (seed, round, link, direction) — never of worker interleaving.
+// ---------------------------------------------------------------------
+
+/// Dense traffic generator that logs its inbox verbatim: every node
+/// sends a distinct payload on every port each round, so every fault a
+/// plan can express (link down, node down, drop, delay) has traffic to
+/// act on, and any divergence in delivery contents *or order* shows up
+/// as a log difference.
+struct ChaosShared {
+    send_rounds: u64,
+}
+
+struct ChaosNode {
+    log: Vec<(u64, u32, u64)>,
+}
+
+struct ChaosRecorder {
+    shared: ChaosShared,
+    nodes: Vec<ChaosNode>,
+}
+
+impl ShardedProtocol for ChaosRecorder {
+    type Msg = u64;
+    type Node = ChaosNode;
+    type Shared = ChaosShared;
+
+    fn msg_bits(_: &ChaosShared, _: &u64) -> u64 {
+        48
+    }
+
+    fn shared(&self) -> &ChaosShared {
+        &self.shared
+    }
+
+    fn split(&mut self) -> (&ChaosShared, &mut [ChaosNode]) {
+        (&self.shared, &mut self.nodes)
+    }
+
+    fn step_node(shared: &ChaosShared, node: &mut ChaosNode, ctx: &mut NodeCtx<'_, u64>) {
+        for &(port, msg) in ctx.inbox() {
+            node.log.push((ctx.round, port, msg));
+        }
+        if ctx.round < shared.send_rounds {
+            let v = ctx.node as u64;
+            for p in 0..ctx.ports().len() as u32 {
+                ctx.send(p, (v << 24) | (ctx.round << 8) | p as u64);
+            }
+            ctx.wake();
+        }
+    }
+
+    fn scheduling(&self) -> Scheduling {
+        Scheduling::ActiveSet
+    }
+}
+
+/// One fault plan per failure mode, plus one with everything at once.
+/// Link and node indices are valid in every chaos graph.
+fn chaos_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "timed-link-faults",
+            FaultPlan::new(0xf00d)
+                .fail_link(0, 1, Some(4))
+                .fail_link(3, 2, None),
+        ),
+        (
+            "crash-and-restart",
+            FaultPlan::new(0xbeef)
+                .crash_node(1, 1, Some(4))
+                .crash_node(2, 3, None),
+        ),
+        ("random-drop", FaultPlan::new(0xd00f).drop_messages(0.2)),
+        (
+            "random-delay",
+            FaultPlan::new(0xcafe).delay_messages(0.35, 3),
+        ),
+        (
+            "everything-at-once",
+            FaultPlan::new(0x5eed)
+                .fail_link(2, 0, Some(3))
+                .crash_node(3, 2, Some(5))
+                .drop_messages(0.1)
+                .delay_messages(0.2, 2),
+        ),
+    ]
+}
+
+/// Drives the chaos recorder for `send_rounds` sending rounds plus a
+/// drain window long enough for every delayed message to land.
+fn chaos_run(
+    g: &graphkit::DiGraph,
+    plan: &FaultPlan,
+    net: &mut Network<'_>,
+) -> (Vec<Vec<(u64, u32, u64)>>, RunStats, congest::Metrics) {
+    let send_rounds = 6;
+    net.set_fault_plan(Some(plan.clone()));
+    let mut proto = ChaosRecorder {
+        shared: ChaosShared { send_rounds },
+        nodes: (0..g.node_count())
+            .map(|_| ChaosNode { log: Vec::new() })
+            .collect(),
+    };
+    let stats = net.run_rounds_par("chaos", &mut proto, send_rounds + 4);
+    (
+        proto.nodes.into_iter().map(|nd| nd.log).collect(),
+        stats,
+        net.metrics().clone(),
+    )
+}
+
+#[test]
+fn chaos_matrix_is_thread_invariant() {
+    use graphkit::gen::{metro_ring, power_law_digraph, star};
+    for g in [star(33), metro_ring(24), power_law_digraph(48, 5)] {
+        for (name, plan) in chaos_plans() {
+            // Metrics equality includes FaultStats, so this pins the
+            // fault accounting as well as the delivery log.
+            parallel_matrix(&g, |net| chaos_run(&g, &plan, net));
+
+            // The matrix would pass vacuously if the plan never fired;
+            // make sure the traffic actually met the faults.
+            let mut net = Network::new(&g);
+            net.set_threads(1);
+            let (_, _, metrics) = chaos_run(&g, &plan, &mut net);
+            assert!(
+                !metrics.faults.is_zero(),
+                "plan {name} fired no faults on this graph"
+            );
+        }
+    }
 }
 
 /// Component-wise difference of two cumulative stats snapshots.

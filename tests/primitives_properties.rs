@@ -7,7 +7,7 @@ use congest::bfs_tree::build_bfs_tree;
 use congest::broadcast::broadcast;
 use congest::multi_bfs::{default_budget, multi_source_bfs, MultiBfsConfig};
 use congest::pipeline::{diagonal_dp, prefix_sweep, Lane};
-use congest::{Network, NodeCtx, RunStats, Scheduling, ShardedProtocol};
+use congest::{FaultPlan, Metrics, Network, NodeCtx, RunStats, Scheduling, ShardedProtocol};
 use graphkit::alg::bfs_hop_bounded;
 use graphkit::gen::random_digraph;
 use graphkit::{DiGraph, Dist, GraphBuilder};
@@ -87,6 +87,33 @@ fn run_recorder(
     };
     let stats = net.run_rounds_par("recorder", &mut proto, send_rounds + 1);
     (proto.nodes.into_iter().map(|nd| nd.log).collect(), stats)
+}
+
+/// [`run_recorder`] under a fault plan, with a longer drain window so
+/// delayed messages land; also returns the full metrics log so that
+/// `FaultStats` parity is part of the comparison.
+fn run_recorder_faulty(
+    g: &DiGraph,
+    seed: u64,
+    send_rounds: u64,
+    plan: &FaultPlan,
+    configure: impl FnOnce(&mut Network<'_>),
+) -> (Vec<Vec<(u64, u32, u64)>>, RunStats, Metrics) {
+    let mut net = Network::new(g);
+    configure(&mut net);
+    net.set_fault_plan(Some(plan.clone()));
+    let mut proto = Recorder {
+        shared: RecShared { seed, send_rounds },
+        nodes: (0..g.node_count())
+            .map(|_| RecNode { log: Vec::new() })
+            .collect(),
+    };
+    let stats = net.run_rounds_par("recorder", &mut proto, send_rounds + 5);
+    (
+        proto.nodes.into_iter().map(|nd| nd.log).collect(),
+        stats,
+        net.metrics().clone(),
+    )
 }
 
 proptest! {
@@ -263,6 +290,40 @@ proptest! {
         });
         prop_assert_eq!(even_stats, ref_stats);
         prop_assert_eq!(even_logs, ref_logs);
+    }
+
+    #[test]
+    fn fault_plans_never_break_shard_parity(
+        n in 3usize..40,
+        density in 1usize..4,
+        threads in 2usize..9,
+        seed in 0u64..500,
+        fseed in 0u64..1000,
+    ) {
+        // Random fault plans mixing every failure mode (timed link
+        // faults, crash/restart, probabilistic drop and delay) must be
+        // invisible to shard geometry: per-message fates are pure
+        // functions of (seed, round, link, direction), so sequential
+        // and parallel runs agree on the delivery log, the RunStats,
+        // and the FaultStats.
+        let g = random_digraph(n, density * n, seed);
+        prop_assert!(g.edge_count() > 0);
+        let m = g.edge_count();
+        let plan = FaultPlan::new(fseed)
+            .fail_link((fseed as usize * 7 + 1) % m, fseed % 3, Some(fseed % 3 + 2))
+            .crash_node((fseed as usize * 5 + 2) % n, 1 + fseed % 2, Some(4))
+            .drop_messages((fseed % 4) as f64 * 0.08)
+            .delay_messages((fseed % 5) as f64 * 0.07, 1 + fseed % 3);
+        let (ref_logs, ref_stats, ref_metrics) =
+            run_recorder_faulty(&g, seed, 6, &plan, |net| net.set_threads(1));
+        let (par_logs, par_stats, par_metrics) =
+            run_recorder_faulty(&g, seed, 6, &plan, |net| {
+                net.set_threads(threads);
+                net.set_parallel_threshold(0);
+            });
+        prop_assert_eq!(par_stats, ref_stats, "threads {}", threads);
+        prop_assert_eq!(par_logs, ref_logs, "threads {}", threads);
+        prop_assert_eq!(par_metrics, ref_metrics, "threads {}", threads);
     }
 
     #[test]
