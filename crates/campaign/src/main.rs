@@ -6,8 +6,10 @@
 //! - **k-failure**: `k ∈ {1, 2, 4}` spans (antiparallel arc pairs) fail
 //!   simultaneously and permanently; the metro-ring `k = 1` suite
 //!   enumerates *every* span — a ring minus one span stays connected,
-//!   so each of those scenarios must come back
-//!   `degraded-answered` (asserted, not just recorded).
+//!   so each of those scenarios must come back `degraded-answered`.
+//!   A violation is an **invariant failure**: it is recorded in the
+//!   report *and* fails the process (non-zero exit), so CI cannot
+//!   silently archive a broken run.
 //! - **flapping**: one span flaps down/up on a duty cycle while a
 //!   distributed BFS-tree probe retries (each retry re-anchors the plan
 //!   with `FaultPlan::shifted` to the rounds already consumed) until a
@@ -19,8 +21,27 @@
 //!
 //! Every scenario runs `rpaths_core::resilient::solve_with_recovery`
 //! and a live detection probe; outcomes land in `CAMPAIGN_faults.json`
-//! at the repository root. `--smoke` (or `CAMPAIGN_SMOKE=1`) shrinks
-//! the sweep to seconds for CI while still writing the report.
+//! at the repository root (written via the store's temp-file +
+//! atomic-rename helper, so a crash mid-write never leaves a torn
+//! report). `--smoke` (or `CAMPAIGN_SMOKE=1`) shrinks the sweep to
+//! seconds for CI while still writing the report.
+//!
+//! # Checkpoint/resume (`--snapshot <path>`)
+//!
+//! With `--snapshot`, the runner checkpoints after every completed
+//! scenario into an `rpaths-store` snapshot file: the campaign's anchor
+//! topology (the metro ring) plus a `campaign/progress` blob holding
+//! the completed records as JSON. Because the full scenario list is
+//! generated *upfront* from a fixed seed — no RNG draws interleave with
+//! execution — a killed run restarted with the same flags resumes at
+//! the first unfinished scenario and produces a byte-identical final
+//! report. A checkpoint that fails to load (corrupt, truncated, or
+//! from a different configuration) degrades to a fresh start with a
+//! warning; it never panics and never poisons the run.
+//!
+//! `CAMPAIGN_ABORT_AFTER=<k>` (test hook) SIGKILLs the process after
+//! the `k`-th checkpoint write of this run, giving CI a deterministic
+//! mid-campaign crash to resume from.
 
 use congest::bfs_tree::build_bfs_tree;
 use congest::{FaultPlan, Network};
@@ -30,11 +51,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpaths_core::resilient::{solve_with_recovery, Recovery, RecoveryPolicy, Unweighted};
 use rpaths_core::Params;
-use serde::Serialize;
+use rpaths_store::{atomic_write, Artifact, Loaded, Snapshot};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Where the report lands: the repository root, next to the other
 /// reproduction artifacts.
 const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../CAMPAIGN_faults.json");
+
+/// Artifact key of the progress blob inside a checkpoint snapshot.
+const PROGRESS_KEY: &str = "campaign/progress";
 
 /// A topology with its failure units: span `i` is the antiparallel arc
 /// pair `(2i, 2i + 1)` between `endpoints[i]`.
@@ -79,7 +105,7 @@ fn fail_spans(seed: u64, spans: &[usize]) -> FaultPlan {
     plan
 }
 
-#[derive(Serialize)]
+#[derive(Clone, Serialize, Deserialize)]
 struct ScenarioRecord {
     topology: String,
     scenario: String,
@@ -101,6 +127,20 @@ struct ScenarioRecord {
     spanned: bool,
 }
 
+/// The resumable state: everything a killed run needs to pick up at the
+/// first unfinished scenario. Serialized as JSON into the checkpoint
+/// snapshot's `campaign/progress` blob.
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    /// Which sweep size produced these records; a mismatch on resume
+    /// (e.g. smoke checkpoint, full rerun) forces a fresh start.
+    smoke: bool,
+    /// The scenario count of the generating run, as a cheap schedule
+    /// fingerprint.
+    total: usize,
+    records: Vec<ScenarioRecord>,
+}
+
 #[derive(Serialize)]
 struct KSurvival {
     k: usize,
@@ -120,8 +160,23 @@ struct Summary {
 #[derive(Serialize)]
 struct Report {
     smoke: bool,
+    /// Human-readable descriptions of violated scenario invariants
+    /// (empty on a healthy run). Non-empty ⇒ the process exits 1.
+    invariant_failures: Vec<String>,
     records: Vec<ScenarioRecord>,
     summary: Summary,
+}
+
+/// One entry of the upfront-generated schedule. Plans are regenerated,
+/// not persisted: the schedule is a pure function of the seed, so a
+/// resumed run rebuilds the identical list and skips the finished
+/// prefix.
+struct Scenario {
+    /// Index into the topology array.
+    topo: usize,
+    kind: &'static str,
+    spans: Vec<usize>,
+    plan: FaultPlan,
 }
 
 /// Retries a distributed BFS-tree build under the *live* plan until it
@@ -148,17 +203,11 @@ fn probe_until_spanning(
     }
 }
 
-fn run_scenario(
-    topo: &Topology,
-    scenario: &str,
-    spans: &[usize],
-    plan: &FaultPlan,
-    records: &mut Vec<ScenarioRecord>,
-) {
+fn run_scenario(topo: &Topology, sc: &Scenario) -> ScenarioRecord {
     let params = Params::for_n(topo.graph.node_count());
     let policy = RecoveryPolicy::default();
     let rec =
-        solve_with_recovery::<Unweighted>(&topo.graph, topo.s, topo.t, plan, &params, &policy);
+        solve_with_recovery::<Unweighted>(&topo.graph, topo.s, topo.t, &sc.plan, &params, &policy);
     let (outcome, attempts, unreachable) = match &rec {
         Ok(Recovery::Full { attempts, .. }) => ("full".to_string(), *attempts, 0),
         Ok(Recovery::Degraded(d)) => (
@@ -173,13 +222,13 @@ fn run_scenario(
         Err(rpaths_core::resilient::RecoveryError::SourceDown) => ("source-down".to_string(), 0, 0),
         Err(e) => (format!("error: {e}"), 0, 0),
     };
-    let (probes, probe_rounds, spanned) = probe_until_spanning(&topo.graph, plan, topo.s, 8);
+    let (probes, probe_rounds, spanned) = probe_until_spanning(&topo.graph, &sc.plan, topo.s, 8);
     println!(
         "  {:<16} {:<18} k={} spans=[{}] -> {} ({} attempts, {} probes / {} rounds)",
         topo.name,
-        scenario,
-        spans.len(),
-        spans
+        sc.kind,
+        sc.spans.len(),
+        sc.spans
             .iter()
             .map(|&i| format!("{}-{}", topo.endpoints[i].0, topo.endpoints[i].1))
             .collect::<Vec<_>>()
@@ -189,11 +238,12 @@ fn run_scenario(
         probes,
         probe_rounds,
     );
-    records.push(ScenarioRecord {
+    ScenarioRecord {
         topology: topo.name.clone(),
-        scenario: scenario.to_string(),
-        k: spans.len(),
-        spans: spans
+        scenario: sc.kind.to_string(),
+        k: sc.spans.len(),
+        spans: sc
+            .spans
             .iter()
             .map(|&i| format!("{}-{}", topo.endpoints[i].0, topo.endpoints[i].1))
             .collect(),
@@ -203,7 +253,7 @@ fn run_scenario(
         probes,
         probe_rounds,
         spanned,
-    });
+    }
 }
 
 /// Draws a k-subset of `0..n` without replacement (partial
@@ -219,66 +269,42 @@ fn sample_spans(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
     picked
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke")
-        || std::env::var("CAMPAIGN_SMOKE").is_ok_and(|v| v == "1");
-    let (ring_pops, star_n, pl_n, samples) = if smoke {
-        (8, 8, 12, 2)
-    } else {
-        (12, 16, 24, 6)
-    };
-    let mut rng = StdRng::seed_from_u64(0xfa17);
-    let mut records: Vec<ScenarioRecord> = Vec::new();
+/// Index of the metro-ring anchor topology (carries the k=1 acceptance
+/// invariant and anchors checkpoint snapshots).
+const RING: usize = 0;
 
-    let ring = spanify(
-        &format!("metro-ring-{ring_pops}"),
-        &metro_ring(ring_pops),
-        0,
-        ring_pops / 2,
-    );
-    let hub = spanify(&format!("star-{star_n}"), &star(star_n), 1, 2);
-    let pl = spanify(
-        &format!("power-law-{pl_n}"),
-        &power_law_digraph(pl_n, 77),
-        0,
-        pl_n - 1,
-    );
-    let topologies = [&ring, &hub, &pl];
+/// Generates the complete campaign schedule upfront. Every RNG draw
+/// happens here, before any scenario executes, so the schedule — and
+/// hence the meaning of "scenario `i`" — is identical whether the run
+/// is fresh or resumed from a checkpoint.
+fn generate_scenarios(topologies: &[Topology], samples: usize, rng: &mut StdRng) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
 
-    // --- k-failure sweeps ------------------------------------------------
-    println!("== k-failure campaigns (k in {{1, 2, 4}}) ==");
-    for topo in topologies {
+    // --- k-failure sweeps ---
+    for (ti, topo) in topologies.iter().enumerate() {
         for k in [1usize, 2, 4] {
-            let span_sets: Vec<Vec<usize>> = if k == 1 && std::ptr::eq(topo, &ring) {
+            let span_sets: Vec<Vec<usize>> = if k == 1 && ti == RING {
                 // The acceptance suite: every single span of the ring.
-                (0..ring.endpoints.len()).map(|i| vec![i]).collect()
+                (0..topo.endpoints.len()).map(|i| vec![i]).collect()
             } else {
                 (0..samples)
-                    .map(|_| sample_spans(&mut rng, topo.endpoints.len(), k))
+                    .map(|_| sample_spans(rng, topo.endpoints.len(), k))
                     .collect()
             };
-            for spans in &span_sets {
-                let plan = fail_spans(span_seed(spans), spans);
-                run_scenario(topo, "k-failure", spans, &plan, &mut records);
+            for spans in span_sets {
+                let plan = fail_spans(span_seed(&spans), &spans);
+                scenarios.push(Scenario {
+                    topo: ti,
+                    kind: "k-failure",
+                    spans,
+                    plan,
+                });
             }
         }
     }
-    // A ring minus one span is still connected: every metro-ring k=1
-    // scenario must have answered in degraded mode, never errored.
-    for r in records
-        .iter()
-        .filter(|r| r.topology == ring.name && r.scenario == "k-failure" && r.k == 1)
-    {
-        assert_eq!(
-            r.outcome, "degraded-answered",
-            "ring span {:?} did not survive",
-            r.spans
-        );
-    }
 
-    // --- flapping links --------------------------------------------------
-    println!("== flapping-link campaigns ==");
-    for topo in topologies {
+    // --- flapping links ---
+    for (ti, topo) in topologies.iter().enumerate() {
         // Flap the span nearest the target: down 3, up 3, three cycles.
         let span = topo.endpoints.len() - 1;
         let mut plan = FaultPlan::new(0xf1a9).drop_messages(0.02);
@@ -290,12 +316,16 @@ fn main() {
                 Some(at + 3),
             );
         }
-        run_scenario(topo, "flapping", &[span], &plan, &mut records);
+        scenarios.push(Scenario {
+            topo: ti,
+            kind: "flapping",
+            spans: vec![span],
+            plan,
+        });
     }
 
-    // --- rolling partition -----------------------------------------------
-    println!("== rolling-partition campaigns ==");
-    for topo in topologies {
+    // --- rolling partition ---
+    for (ti, topo) in topologies.iter().enumerate() {
         let m = topo.endpoints.len();
         let mut plan = FaultPlan::new(0x8011);
         let mut spans = Vec::new();
@@ -307,7 +337,198 @@ fn main() {
             plan = plan.fail_link(2 * i, at, up).fail_link(2 * i + 1, at, up);
             spans.push(i);
         }
-        run_scenario(topo, "rolling-partition", &spans, &plan, &mut records);
+        scenarios.push(Scenario {
+            topo: ti,
+            kind: "rolling-partition",
+            spans,
+            plan,
+        });
+    }
+
+    scenarios
+}
+
+/// Writes a checkpoint: the anchor topology's graph (a real graph
+/// round-tripping through the store, not a stub) plus the progress
+/// blob. Atomic via the store's temp-file + rename path.
+fn write_checkpoint(path: &std::path::Path, anchor: &DiGraph, cp: &Checkpoint) {
+    let json = serde_json::to_string(cp).expect("serialize checkpoint");
+    let mut snap = Snapshot::new(anchor.clone());
+    snap.artifacts
+        .push(Artifact::blob(PROGRESS_KEY, json.into_bytes()));
+    if let Err(e) = snap.write(path) {
+        // A failed checkpoint write must not kill a healthy campaign:
+        // resume just restarts further back.
+        eprintln!("warning: checkpoint write failed: {e}");
+    }
+}
+
+/// Loads the completed-record prefix from a checkpoint, or explains why
+/// the run starts fresh. Corruption is *expected* input here (the file
+/// is only ever read after a crash): every failure path degrades to
+/// `None`, never a panic.
+fn load_checkpoint(
+    path: &std::path::Path,
+    anchor: &DiGraph,
+    smoke: bool,
+    total: usize,
+) -> Option<Vec<ScenarioRecord>> {
+    if !path.exists() {
+        return None;
+    }
+    let loaded = match Snapshot::read(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("warning: checkpoint unreadable ({e}); starting fresh");
+            return None;
+        }
+    };
+    if let Loaded::Partial { ref dropped, .. } = loaded {
+        for d in dropped {
+            eprintln!(
+                "warning: checkpoint section {} (tag {}) corrupt: {}",
+                d.section, d.tag, d.error
+            );
+        }
+    }
+    let snap = loaded.snapshot();
+    if snap.graph.to_snapshot() != anchor.to_snapshot() {
+        eprintln!("warning: checkpoint is for a different topology; starting fresh");
+        return None;
+    }
+    let Some(blob) = snap.artifacts.iter().find(|a| a.key == PROGRESS_KEY) else {
+        eprintln!("warning: checkpoint has no progress blob (dropped as corrupt?); starting fresh");
+        return None;
+    };
+    let text = match std::str::from_utf8(&blob.body) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("warning: checkpoint progress blob is not UTF-8; starting fresh");
+            return None;
+        }
+    };
+    let cp: Checkpoint = match serde_json::from_str(text) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("warning: checkpoint progress blob unparsable ({e}); starting fresh");
+            return None;
+        }
+    };
+    if cp.smoke != smoke || cp.total != total || cp.records.len() > total {
+        eprintln!("warning: checkpoint is from a different configuration; starting fresh");
+        return None;
+    }
+    Some(cp.records)
+}
+
+/// Test hook: SIGKILL ourselves after the `n`-th checkpoint write, so
+/// CI can provoke a deterministic mid-campaign crash. SIGKILL (not
+/// exit) because the point is to prove resume needs no orderly
+/// shutdown.
+fn maybe_abort(checkpoints_written: u32) {
+    let Ok(val) = std::env::var("CAMPAIGN_ABORT_AFTER") else {
+        return;
+    };
+    let Ok(after) = val.parse::<u32>() else {
+        return;
+    };
+    if checkpoints_written >= after {
+        let pid = std::process::id().to_string();
+        let _ = std::process::Command::new("kill")
+            .args(["-KILL", &pid])
+            .status();
+        // If there is no `kill` binary, die abruptly anyway.
+        std::process::abort();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("CAMPAIGN_SMOKE").is_ok_and(|v| v == "1");
+    let snapshot_path: Option<PathBuf> = args.iter().position(|a| a == "--snapshot").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--snapshot requires a path argument");
+                std::process::exit(2);
+            })
+            .into()
+    });
+    let (ring_pops, star_n, pl_n, samples) = if smoke {
+        (8, 8, 12, 2)
+    } else {
+        (12, 16, 24, 6)
+    };
+    let mut rng = StdRng::seed_from_u64(0xfa17);
+
+    let topologies = [
+        spanify(
+            &format!("metro-ring-{ring_pops}"),
+            &metro_ring(ring_pops),
+            0,
+            ring_pops / 2,
+        ),
+        spanify(&format!("star-{star_n}"), &star(star_n), 1, 2),
+        spanify(
+            &format!("power-law-{pl_n}"),
+            &power_law_digraph(pl_n, 77),
+            0,
+            pl_n - 1,
+        ),
+    ];
+    let scenarios = generate_scenarios(&topologies, samples, &mut rng);
+    let total = scenarios.len();
+    let anchor = &topologies[RING].graph;
+
+    let mut records: Vec<ScenarioRecord> = snapshot_path
+        .as_deref()
+        .and_then(|p| load_checkpoint(p, anchor, smoke, total))
+        .unwrap_or_default();
+    if !records.is_empty() {
+        println!(
+            "resuming from checkpoint ({}/{} scenarios done)",
+            records.len(),
+            total
+        );
+    }
+
+    let mut checkpoints_written = 0u32;
+    let mut last_kind = records.len().checked_sub(1).map(|i| scenarios[i].kind);
+    for sc in scenarios.iter().skip(records.len()) {
+        if last_kind != Some(sc.kind) {
+            println!("== {} campaigns ==", sc.kind);
+            last_kind = Some(sc.kind);
+        }
+        records.push(run_scenario(&topologies[sc.topo], sc));
+        if let Some(path) = snapshot_path.as_deref() {
+            write_checkpoint(
+                path,
+                anchor,
+                &Checkpoint {
+                    smoke,
+                    total,
+                    records: records.clone(),
+                },
+            );
+            checkpoints_written += 1;
+            maybe_abort(checkpoints_written);
+        }
+    }
+
+    // --- invariants ------------------------------------------------------
+    // A ring minus one span is still connected: every metro-ring k=1
+    // scenario must have answered in degraded mode, never errored.
+    let mut invariant_failures: Vec<String> = Vec::new();
+    for r in records
+        .iter()
+        .filter(|r| r.topology == topologies[RING].name && r.scenario == "k-failure" && r.k == 1)
+    {
+        if r.outcome != "degraded-answered" {
+            invariant_failures.push(format!(
+                "metro-ring k=1 span {:?} must answer degraded, got `{}`",
+                r.spans, r.outcome
+            ));
+        }
     }
 
     // --- report ----------------------------------------------------------
@@ -347,15 +568,26 @@ fn main() {
     );
     let report = Report {
         smoke,
+        invariant_failures: invariant_failures.clone(),
         records,
         summary,
     };
-    std::fs::write(
-        REPORT_PATH,
-        serde_json::to_string_pretty(&report).expect("serialize report"),
-    )
-    .expect("write CAMPAIGN_faults.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    atomic_write(std::path::Path::new(REPORT_PATH), json.as_bytes())
+        .expect("write CAMPAIGN_faults.json");
     println!("wrote {REPORT_PATH}");
+
+    // The campaign finished; the checkpoint has served its purpose.
+    if let Some(path) = snapshot_path.as_deref() {
+        let _ = std::fs::remove_file(path);
+    }
+
+    if !invariant_failures.is_empty() {
+        for f in &invariant_failures {
+            eprintln!("INVARIANT FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// A deterministic seed per failed-span set, so re-running a single

@@ -62,8 +62,10 @@ impl fmt::Display for TreeError {
                 witness,
             } => write!(
                 f,
-                "communication graph is disconnected: BFS tree reached {joined} of \
-                 {total} nodes (node {witness} is unreachable)"
+                "communication graph is disconnected: the BFS tree reached {joined} \
+                 of {total} nodes and {severed} nodes are unreachable (first \
+                 witness: node {witness})",
+                severed = total - joined
             ),
             TreeError::Engine(e) => write!(f, "BFS tree flood did not quiesce: {e}"),
         }
@@ -360,6 +362,22 @@ mod tests {
                 total: 5,
                 witness: 0
             }
+        );
+    }
+
+    #[test]
+    fn disconnected_message_names_witness_and_component_sizes() {
+        // Operators triage partitions from this string; keep the witness
+        // node and both component sizes in it.
+        let err = TreeError::Disconnected {
+            joined: 3,
+            total: 5,
+            witness: 3,
+        };
+        assert_eq!(
+            err.to_string(),
+            "communication graph is disconnected: the BFS tree reached 3 of 5 \
+             nodes and 2 nodes are unreachable (first witness: node 3)"
         );
     }
 

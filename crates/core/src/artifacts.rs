@@ -1,0 +1,443 @@
+//! Persisted solver artifacts: typed codecs over the `rpaths-store`
+//! snapshot format.
+//!
+//! The store (`rpaths_store`) frames, checksums, and atomically writes
+//! sections but treats artifact bodies as opaque bytes; this module owns
+//! the *typed* encodings the solvers actually produce and consume:
+//!
+//! - **Distance arrays** ([`dists_artifact`] / [`dists_from`]): the
+//!   per-path-edge replacement lengths of an [`RPathsOutput`], or any
+//!   other `Vec<Dist>` (landmark tables, per-source BFS rows). Encoded
+//!   as a count plus raw little-endian `u64`s (`u64::MAX` = ∞, via
+//!   [`Dist::raw`]).
+//! - **BFS trees** ([`tree_artifact`] / [`tree_from`]): the full
+//!   [`BfsTree`] — parents, parent ports, depths, child ports — so a
+//!   warm start can run tree broadcasts/aggregations without re-flooding
+//!   the network.
+//!
+//! Decoders validate structure (lengths, id ranges, the
+//! `depth[child] = depth[parent] + 1` invariant) and return
+//! [`ArtifactError`], never panic: a snapshot section that passed its
+//! checksum can still have been written by a buggy or hostile producer.
+//!
+//! [`save`] / [`load`] are the convenience entry points: graph plus
+//! artifacts in, crash-safe single file out, and back. A corrupt
+//! artifact section surfaces as `Loaded::Partial` from the store —
+//! callers keep the graph and recompute only the artifacts named in
+//! `dropped`, mirroring the degraded-answer contract of
+//! [`crate::resilient`].
+
+use std::fmt;
+use std::path::Path;
+
+use congest::bfs_tree::BfsTree;
+use graphkit::{DiGraph, Dist, NodeId};
+use rpaths_store::{Artifact, Loaded, Snapshot, StoreError, TAG_DISTS, TAG_TREE};
+
+use crate::RPathsOutput;
+
+/// Why a typed artifact body could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The artifact's section tag is not the kind the decoder reads.
+    WrongKind {
+        /// The tag the decoder expected.
+        expected: u32,
+        /// The tag the artifact carries.
+        found: u32,
+    },
+    /// The body ended before the structure it promised.
+    Truncated {
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The body parsed but violates a structural invariant.
+    Malformed(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "artifact kind mismatch: expected tag {expected}, found {found}"
+                )
+            }
+            ArtifactError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "artifact body truncated: needed {expected} bytes, got {got}"
+                )
+            }
+            ArtifactError::Malformed(detail) => write!(f, "malformed artifact body: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ArtifactError::Truncated {
+                expected: self.pos.saturating_add(len),
+                got: self.bytes.len(),
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), ArtifactError> {
+        if self.pos != self.bytes.len() {
+            Err(ArtifactError::Malformed(format!(
+                "trailing bytes after offset {}",
+                self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distance arrays
+// ---------------------------------------------------------------------
+
+/// Encodes a distance array as a keyed [`TAG_DISTS`] artifact.
+pub fn dists_artifact(key: impl Into<String>, dists: &[Dist]) -> Artifact {
+    let mut body = Vec::with_capacity(8 + 8 * dists.len());
+    body.extend_from_slice(&(dists.len() as u64).to_le_bytes());
+    for d in dists {
+        body.extend_from_slice(&d.raw().to_le_bytes());
+    }
+    Artifact {
+        kind: TAG_DISTS,
+        key: key.into(),
+        body,
+    }
+}
+
+/// Encodes a solver output's replacement lengths under `key`.
+///
+/// Only the answers persist; [`congest::Metrics`] describe the run that
+/// produced them, not the instance, so they are recomputed per run.
+pub fn output_artifact(key: impl Into<String>, out: &RPathsOutput) -> Artifact {
+    dists_artifact(key, &out.replacement)
+}
+
+/// Decodes a [`TAG_DISTS`] artifact body.
+///
+/// # Errors
+///
+/// [`ArtifactError::WrongKind`] for a non-dists artifact, otherwise any
+/// truncation/shape violation.
+pub fn dists_from(a: &Artifact) -> Result<Vec<Dist>, ArtifactError> {
+    if a.kind != TAG_DISTS {
+        return Err(ArtifactError::WrongKind {
+            expected: TAG_DISTS,
+            found: a.kind,
+        });
+    }
+    let mut c = Cursor {
+        bytes: &a.body,
+        pos: 0,
+    };
+    let count = c.u64()?;
+    if count > (a.body.len() as u64) / 8 {
+        return Err(ArtifactError::Malformed(format!(
+            "count {count} cannot fit in a {}-byte body",
+            a.body.len()
+        )));
+    }
+    let mut dists = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        dists.push(Dist::from_raw(c.u64()?));
+    }
+    c.finish()?;
+    Ok(dists)
+}
+
+// ---------------------------------------------------------------------
+// BFS trees
+// ---------------------------------------------------------------------
+
+/// Encodes a [`BfsTree`] as a keyed [`TAG_TREE`] artifact.
+///
+/// The full structure round-trips — parents, parent ports, depths,
+/// child ports — so warm starts can run tree primitives immediately.
+pub fn tree_artifact(key: impl Into<String>, tree: &BfsTree) -> Artifact {
+    let n = tree.parent.len();
+    let total_children: usize = tree.child_ports.iter().map(|c| c.len()).sum();
+    let mut body = Vec::with_capacity(16 + 20 * n + 4 * total_children);
+    body.extend_from_slice(&(tree.root as u64).to_le_bytes());
+    body.extend_from_slice(&(n as u64).to_le_bytes());
+    for v in 0..n {
+        body.extend_from_slice(&tree.parent[v].map_or(u64::MAX, |p| p as u64).to_le_bytes());
+    }
+    for v in 0..n {
+        body.extend_from_slice(&tree.parent_port[v].unwrap_or(u32::MAX).to_le_bytes());
+    }
+    for v in 0..n {
+        body.extend_from_slice(&tree.depth[v].to_le_bytes());
+    }
+    for v in 0..n {
+        body.extend_from_slice(&(tree.child_ports[v].len() as u32).to_le_bytes());
+        for &p in &tree.child_ports[v] {
+            body.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    Artifact {
+        kind: TAG_TREE,
+        key: key.into(),
+        body,
+    }
+}
+
+/// Decodes a [`TAG_TREE`] artifact body, re-validating the tree
+/// invariants (root has no parent and depth 0, every other node's depth
+/// is its parent's plus one).
+///
+/// # Errors
+///
+/// [`ArtifactError::WrongKind`] for a non-tree artifact, otherwise any
+/// truncation/shape/invariant violation.
+pub fn tree_from(a: &Artifact) -> Result<BfsTree, ArtifactError> {
+    if a.kind != TAG_TREE {
+        return Err(ArtifactError::WrongKind {
+            expected: TAG_TREE,
+            found: a.kind,
+        });
+    }
+    let mut c = Cursor {
+        bytes: &a.body,
+        pos: 0,
+    };
+    let root = c.u64()?;
+    let n64 = c.u64()?;
+    if n64 > (a.body.len() as u64) / 20 {
+        return Err(ArtifactError::Malformed(format!(
+            "node count {n64} cannot fit in a {}-byte body",
+            a.body.len()
+        )));
+    }
+    let n = n64 as usize;
+    if root >= n64 && n > 0 {
+        return Err(ArtifactError::Malformed(format!(
+            "root {root} out of range (n = {n})"
+        )));
+    }
+    let root = root as NodeId;
+    let mut parent = Vec::with_capacity(n);
+    for v in 0..n {
+        let raw = c.u64()?;
+        if raw == u64::MAX {
+            parent.push(None);
+        } else if raw < n64 {
+            parent.push(Some(raw as NodeId));
+        } else {
+            return Err(ArtifactError::Malformed(format!(
+                "node {v} has parent {raw} out of range (n = {n})"
+            )));
+        }
+    }
+    let mut parent_port = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = c.u32()?;
+        parent_port.push(if raw == u32::MAX { None } else { Some(raw) });
+    }
+    let mut depth = Vec::with_capacity(n);
+    for _ in 0..n {
+        depth.push(c.u64()?);
+    }
+    let mut child_ports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let count = c.u32()? as usize;
+        let mut ports = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            ports.push(c.u32()?);
+        }
+        child_ports.push(ports);
+    }
+    c.finish()?;
+    // Tree invariants: the checksum said these bytes are what the writer
+    // wrote; this says the writer wrote a tree.
+    if n > 0 {
+        if parent[root].is_some() || parent_port[root].is_some() {
+            return Err(ArtifactError::Malformed("root has a parent".into()));
+        }
+        if depth[root] != 0 {
+            return Err(ArtifactError::Malformed(format!(
+                "root depth is {} (must be 0)",
+                depth[root]
+            )));
+        }
+    }
+    for v in 0..n {
+        match parent[v] {
+            Some(p) => {
+                if depth[v] != depth[p] + 1 {
+                    return Err(ArtifactError::Malformed(format!(
+                        "node {v} at depth {} under parent {p} at depth {}",
+                        depth[v], depth[p]
+                    )));
+                }
+                if parent_port[v].is_none() {
+                    return Err(ArtifactError::Malformed(format!(
+                        "node {v} has a parent but no parent port"
+                    )));
+                }
+            }
+            None if v != root => {
+                return Err(ArtifactError::Malformed(format!(
+                    "non-root node {v} has no parent"
+                )))
+            }
+            None => {}
+        }
+    }
+    let height = depth.iter().copied().max().unwrap_or(0);
+    Ok(BfsTree {
+        root,
+        parent_port,
+        parent,
+        child_ports,
+        depth,
+        height,
+    })
+}
+
+// ---------------------------------------------------------------------
+// File-level convenience
+// ---------------------------------------------------------------------
+
+/// Atomically writes `graph` plus `artifacts` as one snapshot file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failure.
+pub fn save(
+    path: impl AsRef<Path>,
+    graph: &DiGraph,
+    artifacts: Vec<Artifact>,
+) -> Result<(), StoreError> {
+    let snapshot = Snapshot {
+        graph: graph.clone(),
+        artifacts,
+    };
+    snapshot.write(path)
+}
+
+/// Loads a snapshot file, degrading on artifact corruption.
+///
+/// # Errors
+///
+/// Whatever [`Snapshot::read`] reports; `Loaded::Partial` means the
+/// graph survived and only the `dropped` artifacts need recomputing.
+pub fn load(path: impl AsRef<Path>) -> Result<Loaded, StoreError> {
+    Snapshot::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::bfs_tree::build_bfs_tree;
+    use congest::Network;
+    use graphkit::gen::{metro_ring, random_digraph};
+
+    #[test]
+    fn dists_round_trip_including_infinity() {
+        let dists = vec![Dist::ZERO, Dist::new(42), Dist::INF, Dist::new(7)];
+        let a = dists_artifact("test/dists", &dists);
+        assert_eq!(dists_from(&a).unwrap(), dists);
+        assert_eq!(a.key, "test/dists");
+    }
+
+    #[test]
+    fn tree_round_trips_exactly() {
+        let g = random_digraph(40, 90, 11);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 3).unwrap();
+        let back = tree_from(&tree_artifact("t", &tree)).unwrap();
+        assert_eq!(back.root, tree.root);
+        assert_eq!(back.parent, tree.parent);
+        assert_eq!(back.parent_port, tree.parent_port);
+        assert_eq!(back.child_ports, tree.child_ports);
+        assert_eq!(back.depth, tree.depth);
+        assert_eq!(back.height, tree.height);
+    }
+
+    #[test]
+    fn wrong_kind_is_reported() {
+        let a = dists_artifact("d", &[Dist::ZERO]);
+        assert_eq!(
+            tree_from(&a).err(),
+            Some(ArtifactError::WrongKind {
+                expected: TAG_TREE,
+                found: TAG_DISTS
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_tree_bodies_are_structured_errors() {
+        let g = metro_ring(6);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
+        let good = tree_artifact("t", &tree);
+        // Truncations at every prefix parse to an error, never panic.
+        for cut in 0..good.body.len() {
+            let mut a = good.clone();
+            a.body.truncate(cut);
+            assert!(tree_from(&a).is_err(), "cut {cut}");
+        }
+        // Break the depth invariant: depth[root] starts at byte
+        // 16 + 12n.
+        let n = g.node_count();
+        let mut a = good.clone();
+        a.body[16 + 12 * n] = 9;
+        assert!(matches!(tree_from(&a), Err(ArtifactError::Malformed(_))));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rpaths-artifacts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("solve.snap");
+        let g = metro_ring(8);
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 0).unwrap();
+        let dists = vec![Dist::new(3), Dist::INF];
+        save(
+            &path,
+            &g,
+            vec![tree_artifact("bfs/0", &tree), dists_artifact("ans", &dists)],
+        )
+        .unwrap();
+        let snap = load(&path).unwrap().expect_complete("artifacts");
+        assert_eq!(snap.graph.to_snapshot(), g.to_snapshot());
+        assert_eq!(snap.artifacts.len(), 2);
+        assert_eq!(tree_from(&snap.artifacts[0]).unwrap().depth, tree.depth);
+        assert_eq!(dists_from(&snap.artifacts[1]).unwrap(), dists);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod baseline;
 mod instance;
 pub mod knowledge;
@@ -109,8 +110,10 @@ impl fmt::Display for SolveError {
                 witness,
             } => write!(
                 f,
-                "communication graph is partitioned: reached {reached} of {total} \
-                 nodes (node {witness} unreachable)"
+                "communication graph is partitioned: the source's component holds \
+                 {reached} of {total} nodes and {severed} nodes are unreachable \
+                 (first witness: node {witness})",
+                severed = total - reached
             ),
             SolveError::Engine(e) => write!(f, "engine budget exhausted: {e}"),
         }
@@ -151,5 +154,44 @@ impl RPathsOutput {
     /// The 2-SiSP value implied by the per-edge answers.
     pub fn sisp(&self) -> Dist {
         self.replacement.iter().copied().min().unwrap_or(Dist::INF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_message_names_witness_and_component_sizes() {
+        // Campaign reports and operator logs surface this string; keep
+        // the witness node and both component sizes in it.
+        let err = SolveError::Partitioned {
+            reached: 5,
+            total: 12,
+            witness: 9,
+        };
+        assert_eq!(
+            err.to_string(),
+            "communication graph is partitioned: the source's component holds \
+             5 of 12 nodes and 7 nodes are unreachable (first witness: node 9)"
+        );
+    }
+
+    #[test]
+    fn tree_error_converts_with_fields_preserved() {
+        let err: SolveError = TreeError::Disconnected {
+            joined: 2,
+            total: 5,
+            witness: 0,
+        }
+        .into();
+        assert_eq!(
+            err,
+            SolveError::Partitioned {
+                reached: 2,
+                total: 5,
+                witness: 0
+            }
+        );
     }
 }

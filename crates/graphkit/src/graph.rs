@@ -47,25 +47,25 @@ pub struct Edge {
 /// ```
 #[derive(Clone, Serialize, Deserialize)]
 pub struct DiGraph {
-    n: usize,
-    edges: Vec<Edge>,
-    out_index: Csr,
-    in_index: Csr,
+    pub(crate) n: usize,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) out_index: Csr,
+    pub(crate) in_index: Csr,
     /// Deduplicated undirected adjacency (CONGEST communication
     /// neighbors), precomputed once at build time so neighbor iteration
     /// is allocation-free.
-    undirected: Csr,
-    unweighted: bool,
+    pub(crate) undirected: Csr,
+    pub(crate) unweighted: bool,
 }
 
 #[derive(Clone, Serialize, Deserialize)]
-struct Csr {
-    offsets: Vec<u32>,
-    items: Vec<u32>,
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) items: Vec<u32>,
 }
 
 impl Csr {
-    fn build(n: usize, keys: impl Iterator<Item = usize> + Clone, m: usize) -> Csr {
+    pub(crate) fn build(n: usize, keys: impl Iterator<Item = usize> + Clone, m: usize) -> Csr {
         let mut counts = vec![0u32; n + 1];
         for k in keys.clone() {
             counts[k + 1] += 1;
@@ -84,7 +84,7 @@ impl Csr {
     }
 
     #[inline]
-    fn slice(&self, k: usize) -> &[u32] {
+    pub(crate) fn slice(&self, k: usize) -> &[u32] {
         &self.items[self.offsets[k] as usize..self.offsets[k + 1] as usize]
     }
 }

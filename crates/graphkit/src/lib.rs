@@ -18,6 +18,10 @@
 //!   distances, undirected eccentricity/diameter) and the ground-truth
 //!   replacement-paths oracle used to validate every distributed
 //!   algorithm in the workspace.
+//! - a snapshot codec ([`DiGraph::to_snapshot`] /
+//!   [`DiGraph::from_snapshot`]): a defensive little-endian byte
+//!   encoding of a graph *with* its precomputed CSR indexes, used as the
+//!   graph section of the `rpaths-store` single-file snapshot format.
 //!
 //! Nothing in this crate knows about rounds or messages; the CONGEST
 //! simulation lives in the `congest` crate and the paper's algorithms in
@@ -31,7 +35,9 @@ mod dist;
 pub mod gen;
 mod graph;
 mod path;
+mod snapshot;
 
 pub use dist::Dist;
 pub use graph::{DiGraph, Edge, EdgeId, GraphBuilder, NodeId};
 pub use path::{PathError, StPath};
+pub use snapshot::SnapshotError;

@@ -1,0 +1,91 @@
+//! Warm starts from a snapshot file: solve once, persist the graph and
+//! the solver's artifacts with `rpaths-store`, then reload and answer
+//! without re-running the CONGEST protocols.
+//!
+//! Also demonstrates the degraded-load contract: a flipped byte inside
+//! an artifact section drops *that artifact* — the graph still loads,
+//! and the caller recomputes only what was lost.
+//!
+//! Run with: `cargo run --release -p rpaths --example snapshot_warmstart`
+
+use congest::bfs_tree::build_bfs_tree;
+use congest::Network;
+use graphkit::gen::metro_ring;
+use rpaths_core::artifacts::{dists_artifact, dists_from, tree_artifact, tree_from};
+use rpaths_core::{unweighted, Instance, Params};
+use rpaths_store::Loaded;
+
+fn main() {
+    let path = std::env::temp_dir().join("rpaths_warmstart.snap");
+    let g = metro_ring(12);
+
+    // --- Cold start: pay the full distributed solve -------------------
+    let inst = Instance::from_endpoints(&g, 0, 6).expect("ring is connected");
+    let params = Params::for_instance(&inst);
+    let out = unweighted::solve(&inst, &params).expect("solve");
+    let mut net = Network::new(&g);
+    let (tree, _) = build_bfs_tree(&mut net, 0).expect("spanning tree");
+    println!(
+        "cold start: solved in {} CONGEST rounds ({} messages), BFS tree height {}",
+        out.metrics.rounds(),
+        out.metrics.total.messages,
+        tree.height
+    );
+
+    // Persist everything a warm start needs in one crash-safe file.
+    rpaths_core::artifacts::save(
+        &path,
+        &g,
+        vec![
+            tree_artifact("bfs/root-0", &tree),
+            dists_artifact("rpaths/0-6", &out.replacement),
+        ],
+    )
+    .expect("write snapshot");
+    let file_len = std::fs::metadata(&path).expect("stat").len();
+    println!("snapshot: {} bytes at {}", file_len, path.display());
+
+    // --- Warm start: reload, zero protocol rounds ---------------------
+    let snap = rpaths_core::artifacts::load(&path)
+        .expect("read snapshot")
+        .expect_complete("warm start");
+    let warm_tree = tree_from(&snap.artifacts[0]).expect("tree artifact");
+    let warm_dists = dists_from(&snap.artifacts[1]).expect("dists artifact");
+    assert_eq!(warm_dists, out.replacement);
+    assert_eq!(warm_tree.depth, tree.depth);
+    println!(
+        "warm start: graph ({} nodes), tree, and {} replacement lengths \
+         recovered in 0 CONGEST rounds",
+        snap.graph.node_count(),
+        warm_dists.len()
+    );
+
+    // --- Degraded load: artifact corruption is survivable -------------
+    let mut bytes = std::fs::read(&path).expect("read back");
+    let idx = bytes.len() - 20; // inside the dists artifact's payload
+    bytes[idx] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("rewrite corrupted");
+    match rpaths_core::artifacts::load(&path).expect("read corrupted") {
+        Loaded::Partial {
+            recovered, dropped, ..
+        } => {
+            println!(
+                "corrupted snapshot: graph still loads ({} nodes); {} artifact(s) \
+                 dropped:",
+                recovered.graph.node_count(),
+                dropped.len()
+            );
+            for d in &dropped {
+                println!("  section {} (tag {}): {}", d.section, d.tag, d.error);
+            }
+            // Recompute only what was lost, from the recovered graph.
+            let inst = Instance::from_endpoints(&recovered.graph, 0, 6).expect("still a ring");
+            let again = unweighted::solve(&inst, &Params::for_instance(&inst)).expect("re-solve");
+            assert_eq!(again.replacement, out.replacement);
+            println!("recomputed the dropped answers from the recovered graph");
+        }
+        other => panic!("expected a partial load, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

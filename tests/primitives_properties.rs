@@ -454,6 +454,55 @@ proptest! {
     }
 
     #[test]
+    fn graph_snapshot_round_trip_is_bit_identical(
+        n in 1usize..80,
+        density in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // The persistence codec is an exact bijection on encodable
+        // graphs: decode(encode(g)) re-encodes to the same bytes, and
+        // the decoded graph is structurally identical (CSRs included —
+        // neighbor iteration order is part of determinism).
+        let g = random_digraph(n, density * n, seed);
+        let bytes = g.to_snapshot();
+        let back = DiGraph::from_snapshot(&bytes).expect("round trip");
+        prop_assert_eq!(back.to_snapshot(), bytes);
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for v in 0..n {
+            let a: Vec<usize> = g.undirected_neighbors(v).collect();
+            let b: Vec<usize> = back.undirected_neighbors(v).collect();
+            prop_assert_eq!(a, b, "node {}", v);
+        }
+    }
+
+    #[test]
+    fn store_snapshot_round_trip_is_bit_identical(
+        n in 1usize..50,
+        seed in 0u64..1000,
+        nart in 0usize..4,
+    ) {
+        // Full store files (header + sections + footer) re-encode to
+        // identical bytes after a decode, for any graph and artifact
+        // payload mix — the invariant checkpoint/resume rides on.
+        let g = random_digraph(n, 2 * n, seed);
+        let mut snap = rpaths_store::Snapshot::new(g);
+        for i in 0..nart {
+            let body: Vec<u8> = (0..(seed as usize + 7 * i) % 40)
+                .map(|j| (j as u8).wrapping_mul(31).wrapping_add(seed as u8))
+                .collect();
+            snap.artifacts
+                .push(rpaths_store::Artifact::blob(format!("blob/{i}"), body));
+        }
+        let bytes = snap.encode();
+        let back = rpaths_store::Snapshot::decode(&bytes)
+            .expect("decode")
+            .expect_complete("round trip");
+        prop_assert_eq!(back.encode(), bytes);
+        prop_assert_eq!(back.artifacts.len(), nart);
+    }
+
+    #[test]
     fn bfs_tree_depths_are_undirected_distances(
         n in 2usize..60,
         seed in 0u64..500,

@@ -1,0 +1,219 @@
+//! Adversarial corruption suite for the snapshot store: no sequence of
+//! bit flips or truncations may panic, hang, or hand back a silently
+//! wrong graph.
+//!
+//! The contract under test (see `crates/store/src/lib.rs`):
+//!
+//! - Every single-byte flip is *detected* — CRC32 catches all of them —
+//!   so a mutated file either fails with a structured [`StoreError`] or
+//!   degrades to [`Loaded::Partial`] with the graph bit-identical to
+//!   the original. `Ok(Complete)` on a flipped byte would mean silent
+//!   corruption and fails the suite.
+//! - Every truncation, at section boundaries and everywhere else, is a
+//!   structured error or a partial load; never a panic.
+//! - Unknown section tags are skipped (forward compatibility), and
+//!   corruption in an *artifact* section never takes the graph with it.
+//! - A graph reloaded from a snapshot drives the solver to the same
+//!   answers and the same round/message accounting as the original —
+//!   at any `CONGEST_THREADS` (CI runs this suite at 1 and 8).
+
+use graphkit::gen::{metro_ring, random_digraph};
+use graphkit::DiGraph;
+use rpaths_core::artifacts::{dists_artifact, tree_artifact};
+use rpaths_core::{unweighted, Instance, Params};
+use rpaths_store::{crc32, Artifact, Loaded, Snapshot, StoreError};
+
+/// A representative snapshot: a real graph plus tree, dists, and blob
+/// artifacts, so flips land in every section type the format has.
+fn sample() -> (Vec<u8>, Vec<u8>) {
+    let g = random_digraph(24, 60, 9);
+    let mut net = congest::Network::new(&g);
+    let (tree, _) = congest::bfs_tree::build_bfs_tree(&mut net, 0).expect("spanning");
+    let graph_bytes = g.to_snapshot();
+    let mut snap = Snapshot::new(g);
+    snap.artifacts.push(tree_artifact("bfs/0", &tree));
+    snap.artifacts.push(dists_artifact(
+        "dists",
+        &[graphkit::Dist::new(5), graphkit::Dist::INF],
+    ));
+    snap.artifacts
+        .push(Artifact::blob("notes", b"free-form payload".to_vec()));
+    (snap.encode(), graph_bytes)
+}
+
+/// The only acceptable outcomes for a mutated file: a structured error,
+/// or a load whose graph is bit-identical to the original.
+fn assert_detected(bytes: &[u8], graph_bytes: &[u8], what: &str) {
+    match Snapshot::decode(bytes) {
+        Err(_) => {}
+        Ok(loaded) => {
+            assert_eq!(
+                loaded.snapshot().graph.to_snapshot(),
+                graph_bytes,
+                "{what}: graph silently corrupted"
+            );
+            assert!(
+                loaded.is_partial()
+                    || !loaded.dropped().is_empty()
+                    || bytes_reencode(&loaded, bytes),
+                "{what}: mutation accepted as a complete, unchanged load"
+            );
+        }
+    }
+}
+
+/// Whether a load re-encodes to the input bytes (i.e. the mutation was
+/// in a bit the format legitimately does not cover — there are none,
+/// but the check keeps the assertion honest).
+fn bytes_reencode(loaded: &Loaded, bytes: &[u8]) -> bool {
+    loaded.snapshot().encode() == bytes
+}
+
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let (bytes, graph_bytes) = sample();
+    for pattern in [0xffu8, 0x01] {
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= pattern;
+            assert_detected(
+                &mutated,
+                &graph_bytes,
+                &format!("flip {i} ^ {pattern:#04x}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_structured() {
+    let (bytes, graph_bytes) = sample();
+    for cut in 0..bytes.len() {
+        let mutated = &bytes[..cut];
+        match Snapshot::decode(mutated) {
+            Err(_) => {}
+            Ok(loaded) => {
+                // A truncated file can never be complete: the footer is
+                // gone.
+                assert!(loaded.is_partial(), "cut {cut}: truncation loaded Complete");
+                assert_eq!(
+                    loaded.snapshot().graph.to_snapshot(),
+                    graph_bytes,
+                    "cut {cut}: graph corrupted by truncation"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupting_each_artifact_drops_only_artifacts() {
+    let (bytes, graph_bytes) = sample();
+    // Walk the real section boundaries and flip one payload byte inside
+    // each non-graph section.
+    let mut pos = 12; // header
+    let mut section = 0;
+    while pos + 12 <= bytes.len() - 8 {
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let payload = pos + 12;
+        if section > 0 && len > 0 {
+            let mut mutated = bytes.clone();
+            mutated[payload + len / 2] ^= 0xff;
+            match Snapshot::decode(&mutated) {
+                Ok(Loaded::Partial {
+                    recovered, dropped, ..
+                }) => {
+                    assert_eq!(recovered.graph.to_snapshot(), graph_bytes);
+                    assert!(
+                        dropped.iter().any(|d| d.section == section),
+                        "section {section} not reported dropped"
+                    );
+                }
+                other => panic!("section {section}: expected Partial, got {other:?}"),
+            }
+        }
+        pos = payload + len + 4;
+        section += 1;
+    }
+    assert!(section >= 4, "expected graph + 3 artifact sections");
+}
+
+#[test]
+fn unknown_sections_round_past_known_ones() {
+    let (bytes, graph_bytes) = sample();
+    // Splice an unknown section (tag 0x7001) between graph and the
+    // first artifact, rebuilding the footer.
+    let mut pos = 12;
+    let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+    pos += 12 + len + 4; // end of graph section
+    let mut spliced = bytes[..pos].to_vec();
+    let tag: u32 = 0x7001;
+    let body = b"opaque future payload";
+    spliced.extend_from_slice(&tag.to_le_bytes());
+    spliced.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    spliced.extend_from_slice(body);
+    let mut framed = tag.to_le_bytes().to_vec();
+    framed.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    framed.extend_from_slice(body);
+    spliced.extend_from_slice(&crc32(&framed).to_le_bytes());
+    spliced.extend_from_slice(&bytes[pos..bytes.len() - 8]);
+    let crc = crc32(&spliced);
+    spliced.extend_from_slice(b"RPFT");
+    spliced.extend_from_slice(&crc.to_le_bytes());
+    match Snapshot::decode(&spliced) {
+        Ok(Loaded::Complete {
+            snapshot,
+            skipped_unknown,
+        }) => {
+            assert_eq!(skipped_unknown, vec![0x7001]);
+            assert_eq!(snapshot.graph.to_snapshot(), graph_bytes);
+            assert_eq!(snapshot.artifacts.len(), 3);
+        }
+        other => panic!("expected Complete with a skip, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_garbage_and_wrong_version_are_structured() {
+    assert!(matches!(
+        Snapshot::decode(&[]),
+        Err(StoreError::Truncated { .. })
+    ));
+    assert!(matches!(
+        Snapshot::decode(&[0xab; 64]),
+        Err(StoreError::BadMagic)
+    ));
+    let mut v = b"RPATHSNP".to_vec();
+    v.extend_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::decode(&v),
+        Err(StoreError::VersionUnsupported { found: 99 })
+    ));
+}
+
+#[test]
+fn snapshot_graph_drives_identical_solves() {
+    // The acceptance criterion: a solve on a graph loaded from a
+    // snapshot is indistinguishable — answers *and* metrics — from a
+    // solve on the original. Runs at whatever CONGEST_THREADS the
+    // environment sets; CI pins 1 and 8.
+    for (g, s, t) in [
+        (metro_ring(10), 0usize, 5usize),
+        (random_digraph(30, 90, 4), 0, 17),
+    ] {
+        let bytes = Snapshot::new(g.clone()).encode();
+        let reloaded = Snapshot::decode(&bytes)
+            .expect("decode")
+            .expect_complete("parity")
+            .graph;
+        let solve = |g: &DiGraph| {
+            let inst = Instance::from_endpoints(g, s, t).expect("connected");
+            let params = Params::for_instance(&inst);
+            unweighted::solve(&inst, &params).expect("solve")
+        };
+        let fresh = solve(&g);
+        let warm = solve(&reloaded);
+        assert_eq!(fresh.replacement, warm.replacement);
+        assert_eq!(fresh.metrics, warm.metrics);
+    }
+}
