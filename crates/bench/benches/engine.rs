@@ -39,7 +39,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphkit::gen::random_digraph;
 use graphkit::{DiGraph, GraphBuilder};
 use rpaths_bench::{bench_params, random_case};
-use rpaths_core::{baseline, sisp, unweighted, Instance, Params};
+use rpaths_core::{baseline, sisp, unweighted, Instance, Params, Query, SolverSession};
 use serde::Serialize;
 
 fn line(n: usize) -> DiGraph {
@@ -157,6 +157,29 @@ struct WorkloadSection {
     rows: Vec<WorkloadReport>,
 }
 
+/// One cold-vs-warm session row: the same batch of `q` failed-edge
+/// queries answered by a fresh session (every artifact recomputed) and
+/// by a warm one (pure cache hits).
+#[derive(Clone, Debug, Serialize)]
+struct BatchQueryReport {
+    name: String,
+    n: usize,
+    q: usize,
+    cold_queries_per_sec: f64,
+    warm_queries_per_sec: f64,
+    warm_speedup: f64,
+    /// Hit rate the warm session reports in its `CacheStats` (the
+    /// acceptance criterion: nonzero, and 100% on pure repeats).
+    warm_cache_hit_rate: f64,
+}
+
+/// A group of batch-query rows, stamped with the measuring host's CPUs.
+#[derive(Debug, Serialize)]
+struct BatchSection {
+    host_cpus: usize,
+    rows: Vec<BatchQueryReport>,
+}
+
 /// A group of thread-sweep rows, stamped with the measuring host's CPU
 /// count. Parallel speedups are bounded by it: on a 1-CPU host every
 /// thread count time-slices one core, so `speedup_vs_sequential` can
@@ -182,6 +205,10 @@ struct EngineReport {
     /// End-to-end solver runs (all phases on the sharded engine): the
     /// Table 1 quantities, per thread count.
     end_to_end: ParallelSection,
+    /// Plan/execute sessions: cold vs. warm `solve_batch` over Q
+    /// same-graph failed-edge queries — the amortization the session
+    /// layer exists to buy.
+    batch_queries: BatchSection,
 }
 
 /// CPUs available to this process.
@@ -218,6 +245,18 @@ fn run_mr24_solve(inst: &Instance<'_>, params: &Params, threads: usize) -> u64 {
     net.set_threads(threads);
     let _ = baseline::mr24::solve_on(&mut net, inst, params).expect("connected");
     net.metrics().rounds()
+}
+
+/// Measures a batch-answering closure and returns queries answered per
+/// second. `f` returns the number of answers it produced.
+fn queries_per_sec(mut f: impl FnMut() -> usize, reps: usize) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut answered = 0usize;
+    for _ in 0..reps {
+        answered += f();
+    }
+    answered as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Measures `f` (already bound to a schedule) and returns rounds/sec.
@@ -440,6 +479,66 @@ fn bench_engine(c: &mut Criterion) {
     }
     group.finish();
 
+    // Plan/execute sessions: Q failed-edge queries against one graph,
+    // cold (a fresh session recomputes every artifact) vs. warm (the
+    // artifact cache answers everything). Q beyond the path length
+    // cycles over its edges — exactly the repeated-query workload the
+    // cache is keyed for.
+    let mut batch_rows = Vec::new();
+    let mut group = c.benchmark_group("engine_batch_queries");
+    group.sample_size(10);
+    let bq_n = if smoke { 64 } else { 256 };
+    let bq_qs: &[usize] = if smoke { &[16] } else { &[16, 256] };
+    {
+        let case = random_case(bq_n, bq_n / 8, 5);
+        let params = bench_params(bq_n, 5);
+        let inst = Instance::from_endpoints(&case.graph, case.s, case.t).expect("valid");
+        let edges = inst.path.edges().to_vec();
+        for &q in bq_qs {
+            let queries: Vec<Query> = (0..q)
+                .map(|i| Query::avoiding(case.s, case.t, edges[i % edges.len()]))
+                .collect();
+            group.bench_with_input(BenchmarkId::new("cold", q), &q, |b, _| {
+                b.iter(|| {
+                    let mut session = SolverSession::new(&case.graph, params.clone());
+                    session.solve_batch(&queries).expect("connected").len()
+                });
+            });
+            let mut warm = SolverSession::new(&case.graph, params.clone());
+            warm.solve_batch(&queries).expect("connected");
+            group.bench_with_input(BenchmarkId::new("warm", q), &q, |b, _| {
+                b.iter(|| warm.solve_batch(&queries).expect("connected").len());
+            });
+
+            let cold_qps = queries_per_sec(
+                || {
+                    let mut session = SolverSession::new(&case.graph, params.clone());
+                    session.solve_batch(&queries).expect("connected").len()
+                },
+                3,
+            );
+            let warm_qps =
+                queries_per_sec(|| warm.solve_batch(&queries).expect("connected").len(), 3);
+            let row = BatchQueryReport {
+                name: "session_failed_edge_batch".to_string(),
+                n: bq_n,
+                q,
+                cold_queries_per_sec: cold_qps,
+                warm_queries_per_sec: warm_qps,
+                warm_speedup: warm_qps / cold_qps,
+                warm_cache_hit_rate: warm.stats().cache.hit_rate(),
+            };
+            println!(
+                "batch_queries (n={bq_n}, q={q}): cold {cold_qps:.0} q/s, warm {warm_qps:.0} q/s, \
+                 {:.0}x, warm hit rate {:.0}%",
+                row.warm_speedup,
+                100.0 * row.warm_cache_hit_rate
+            );
+            batch_rows.push(row);
+        }
+    }
+    group.finish();
+
     let cpus = host_cpus();
     let report = EngineReport {
         bench: "engine".to_string(),
@@ -459,6 +558,10 @@ fn bench_engine(c: &mut Criterion) {
         end_to_end: ParallelSection {
             host_cpus: cpus,
             rows: end_to_end,
+        },
+        batch_queries: BatchSection {
+            host_cpus: cpus,
+            rows: batch_rows,
         },
     };
     if smoke {

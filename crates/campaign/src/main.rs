@@ -46,11 +46,12 @@
 use congest::bfs_tree::build_bfs_tree;
 use congest::{FaultPlan, Network};
 use graphkit::gen::{metro_ring, power_law_digraph, star};
+use graphkit::Dist;
 use graphkit::{DiGraph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpaths_core::resilient::{solve_with_recovery, Recovery, RecoveryPolicy, Unweighted};
-use rpaths_core::Params;
+use rpaths_core::{Params, Query, SolverSession};
 use rpaths_store::{atomic_write, Artifact, Loaded, Snapshot};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -203,13 +204,59 @@ fn probe_until_spanning(
     }
 }
 
-fn run_scenario(topo: &Topology, sc: &Scenario) -> ScenarioRecord {
+/// Cross-checks a full-fidelity recovery against the topology's warm
+/// solver session: the session's cached per-edge answers for the
+/// pristine instance must agree bit-for-bit with what the recovery
+/// wrapper produced. One session per topology persists across every
+/// scenario of that topology, so after the first scenario this check is
+/// answered entirely from the artifact cache.
+fn verify_pristine(
+    session: &mut SolverSession<'_>,
+    topo: &Topology,
+    output: &[Dist],
+) -> Result<(), String> {
+    let Some(path) = session.shortest_path(topo.s, topo.t) else {
+        return Err(format!(
+            "pristine check: {} unreachable from {}",
+            topo.t, topo.s
+        ));
+    };
+    let queries: Vec<Query> = path
+        .edges()
+        .iter()
+        .map(|&e| Query::avoiding(topo.s, topo.t, e))
+        .collect();
+    let answers = session
+        .solve_batch(&queries)
+        .map_err(|e| format!("pristine check failed: {e}"))?;
+    if answers.len() != output.len() {
+        return Err(format!(
+            "pristine check: session answered {} edges, recovery {}",
+            answers.len(),
+            output.len()
+        ));
+    }
+    for (i, (a, &d)) in answers.iter().zip(output).enumerate() {
+        if a.den != 1 || a.scaled != d {
+            return Err(format!(
+                "pristine mismatch at path edge {i}: session {:?}/{}, recovery {:?}",
+                a.scaled, a.den, d
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_scenario(topo: &Topology, sc: &Scenario, session: &mut SolverSession<'_>) -> ScenarioRecord {
     let params = Params::for_n(topo.graph.node_count());
     let policy = RecoveryPolicy::default();
     let rec =
         solve_with_recovery::<Unweighted>(&topo.graph, topo.s, topo.t, &sc.plan, &params, &policy);
     let (outcome, attempts, unreachable) = match &rec {
-        Ok(Recovery::Full { attempts, .. }) => ("full".to_string(), *attempts, 0),
+        Ok(Recovery::Full { output, attempts }) => match verify_pristine(session, topo, output) {
+            Ok(()) => ("full".to_string(), *attempts, 0),
+            Err(e) => (format!("error: {e}"), *attempts, 0),
+        },
         Ok(Recovery::Degraded(d)) => (
             if d.answered.is_some() {
                 "degraded-answered".to_string()
@@ -480,6 +527,16 @@ fn main() {
     let total = scenarios.len();
     let anchor = &topologies[RING].graph;
 
+    // One solver session per topology, reused across every scenario on
+    // it: the pristine cross-check in `run_scenario` costs one solver
+    // run per topology for the whole campaign, everything after that is
+    // cache hits. Session telemetry stays out of the report — a resumed
+    // run skips scenarios, and the report must be byte-identical.
+    let mut sessions: Vec<SolverSession<'_>> = topologies
+        .iter()
+        .map(|t| SolverSession::new(&t.graph, Params::for_n(t.graph.node_count())))
+        .collect();
+
     let mut records: Vec<ScenarioRecord> = snapshot_path
         .as_deref()
         .and_then(|p| load_checkpoint(p, anchor, smoke, total))
@@ -499,7 +556,11 @@ fn main() {
             println!("== {} campaigns ==", sc.kind);
             last_kind = Some(sc.kind);
         }
-        records.push(run_scenario(&topologies[sc.topo], sc));
+        records.push(run_scenario(
+            &topologies[sc.topo],
+            sc,
+            &mut sessions[sc.topo],
+        ));
         if let Some(path) = snapshot_path.as_deref() {
             write_checkpoint(
                 path,
@@ -566,6 +627,19 @@ fn main() {
         "\n{} scenarios: {} answered, {} partitioned",
         summary.scenarios, summary.answered, summary.partitioned
     );
+    // Stdout-only telemetry (resumed runs skip scenarios, so these
+    // counters are not deterministic enough for the report).
+    for (topo, session) in topologies.iter().zip(&sessions) {
+        let st = session.stats();
+        println!(
+            "  session {:<16} {} queries / {} batches, {} solver runs, cache hit rate {:.0}%",
+            topo.name,
+            st.queries,
+            st.batches,
+            st.solver_runs,
+            100.0 * st.cache.hit_rate(),
+        );
+    }
     let report = Report {
         smoke,
         invariant_failures: invariant_failures.clone(),

@@ -125,7 +125,7 @@ mod network;
 pub mod pipeline;
 
 pub use faults::{Fate, FaultPlan};
-pub use metrics::{DispatchStats, FaultStats, Metrics, PhaseStats, RunStats};
+pub use metrics::{CacheStats, DispatchStats, FaultStats, Metrics, PhaseStats, RunStats};
 pub use network::{
     word_bits, EngineError, Network, NodeCtx, Port, Protocol, Scheduling, ShardedProtocol, Side,
 };

@@ -75,6 +75,67 @@ pub struct DispatchStats {
     pub ewma_par_ns_per_unit: f64,
 }
 
+/// Telemetry from an artifact cache consulted while producing a run's
+/// answers (see `rpaths_core::cache`).
+///
+/// Like [`DispatchStats`], this is *not* part of a run's deterministic
+/// outcome: a warm cache legitimately answers with zero rounds where a
+/// cold one recomputes, and the accounting of the phases that *did* run
+/// is what [`Metrics`] equality pins. Cache telemetry is therefore
+/// deliberately excluded from equality.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (the artifact was then recomputed).
+    pub misses: u64,
+    /// Artifacts inserted (fresh computations and imports).
+    pub insertions: u64,
+    /// Artifacts evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Accumulates another cache's telemetry into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+
+    /// Total lookups (hits plus misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (`0.0` when no
+    /// lookup happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// The counter increments since `earlier` (a snapshot taken from the
+    /// same monotonically growing stats).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// `true` when no cache activity was recorded at all.
+    pub fn is_zero(&self) -> bool {
+        self.lookups() == 0 && self.insertions == 0 && self.evictions == 0
+    }
+}
+
 /// Telemetry from fault injection (see `congest::faults`).
 ///
 /// Unlike [`DispatchStats`], this *is* part of a run's deterministic
@@ -136,6 +197,9 @@ pub struct Metrics {
     /// Fault-injection telemetry (included in equality; see
     /// [`FaultStats`]).
     pub faults: FaultStats,
+    /// Artifact-cache telemetry (excluded from equality; see
+    /// [`CacheStats`]).
+    pub cache: CacheStats,
 }
 
 /// Equality covers the deterministic accounting only (`total`, `phases`,
@@ -179,6 +243,11 @@ impl Metrics {
         self.faults.absorb(&f);
     }
 
+    /// Accumulates artifact-cache telemetry from one solve.
+    pub fn record_cache(&mut self, c: CacheStats) {
+        self.cache.absorb(&c);
+    }
+
     /// Total rounds across all phases.
     pub fn rounds(&self) -> u64 {
         self.total.rounds
@@ -199,6 +268,8 @@ impl Metrics {
         other.dispatch = DispatchStats::default();
         self.faults.absorb(&other.faults);
         other.faults = FaultStats::default();
+        self.cache.absorb(&other.cache);
+        other.cache = CacheStats::default();
     }
 
     /// Looks up the accumulated stats of all phases whose name contains
@@ -293,6 +364,34 @@ mod tests {
         );
         assert!(inner.phases.is_empty());
         assert_eq!(inner.total, RunStats::default());
+    }
+
+    #[test]
+    fn cache_stats_rates_and_deltas() {
+        let mut c = CacheStats::default();
+        assert!(c.is_zero());
+        assert_eq!(c.hit_rate(), 0.0);
+        c.hits = 3;
+        c.misses = 1;
+        c.insertions = 1;
+        assert_eq!(c.lookups(), 4);
+        assert_eq!(c.hit_rate(), 0.75);
+        let later = CacheStats {
+            hits: 5,
+            misses: 2,
+            insertions: 2,
+            evictions: 1,
+        };
+        let d = later.delta_since(&c);
+        assert_eq!((d.hits, d.misses, d.insertions, d.evictions), (2, 1, 1, 1));
+        // Equality ignores cache telemetry, like dispatch telemetry.
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        a.record_cache(later);
+        assert_eq!(a, b);
+        b.merge_from(&mut a);
+        assert_eq!(b.cache.hits, 5);
+        assert!(a.cache.is_zero());
     }
 
     #[test]

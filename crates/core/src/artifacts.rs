@@ -14,6 +14,11 @@
 //!   [`BfsTree`] — parents, parent ports, depths, child ports — so a
 //!   warm start can run tree broadcasts/aggregations without re-flooding
 //!   the network.
+//! - **Session cache entries** ([`cache_artifact`] / [`cache_entry_from`]):
+//!   one entry of a [`crate::session::SolverSession`]'s artifact cache —
+//!   diameter, shortest path, BFS tree, or whole replacement answers —
+//!   prefixed with the graph fingerprint so a warm boot never imports
+//!   artifacts of a different graph.
 //!
 //! Decoders validate structure (lengths, id ranges, the
 //! `depth[child] = depth[parent] + 1` invariant) and return
@@ -29,11 +34,15 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 use congest::bfs_tree::BfsTree;
-use graphkit::{DiGraph, Dist, NodeId};
-use rpaths_store::{Artifact, Loaded, Snapshot, StoreError, TAG_DISTS, TAG_TREE};
+use graphkit::alg::shortest_st_path;
+use graphkit::{DiGraph, Dist, EdgeId, NodeId, StPath};
+use rpaths_store::{Artifact, Loaded, Snapshot, StoreError, TAG_CACHE, TAG_DISTS, TAG_TREE};
 
+use crate::cache::{ArtifactKind, CacheValue, SolverKind};
+use crate::weighted::ScaledAnswers;
 use crate::RPathsOutput;
 
 /// Why a typed artifact body could not be decoded.
@@ -327,6 +336,273 @@ pub fn tree_from(a: &Artifact) -> Result<BfsTree, ArtifactError> {
 }
 
 // ---------------------------------------------------------------------
+// Session cache entries
+// ---------------------------------------------------------------------
+
+/// A decoded [`TAG_CACHE`] section: one entry of a
+/// [`crate::cache::ArtifactCache`], ready to re-insert.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Fingerprint of the graph the entry was computed on. The session
+    /// rejects entries whose fingerprint differs from its own graph's.
+    pub fingerprint: u64,
+    /// The entry's typed identity.
+    pub kind: ArtifactKind,
+    /// The entry's value.
+    pub value: CacheValue,
+}
+
+const CACHE_DIAMETER: u8 = 0;
+const CACHE_PATH: u8 = 1;
+const CACHE_TREE: u8 = 2;
+const CACHE_REPLACEMENT: u8 = 3;
+
+/// Encodes one artifact-cache entry as a keyed [`TAG_CACHE`] artifact.
+///
+/// The body opens with the graph fingerprint, then a one-byte entry
+/// code, then kind-specific parameters and payload. The key is
+/// human-readable and purely informational — decoding trusts only the
+/// body.
+pub fn cache_artifact(fingerprint: u64, kind: &ArtifactKind, value: &CacheValue) -> Artifact {
+    let mut body = Vec::new();
+    body.extend_from_slice(&fingerprint.to_le_bytes());
+    let key = match (kind, value) {
+        (ArtifactKind::Diameter, CacheValue::Diameter(d)) => {
+            body.push(CACHE_DIAMETER);
+            body.extend_from_slice(&(*d as u64).to_le_bytes());
+            format!("cache/{fingerprint:016x}/diameter")
+        }
+        (ArtifactKind::Path { source, target }, CacheValue::Path(path)) => {
+            body.push(CACHE_PATH);
+            body.extend_from_slice(&(*source as u32).to_le_bytes());
+            body.extend_from_slice(&(*target as u32).to_le_bytes());
+            match path {
+                Some(p) => {
+                    body.push(1);
+                    body.extend_from_slice(&(p.edges().len() as u64).to_le_bytes());
+                    for &e in p.edges() {
+                        body.extend_from_slice(&(e as u32).to_le_bytes());
+                    }
+                }
+                None => body.push(0),
+            }
+            format!("cache/{fingerprint:016x}/path/{source}-{target}")
+        }
+        (ArtifactKind::Tree { root }, CacheValue::Tree(tree)) => {
+            body.push(CACHE_TREE);
+            body.extend_from_slice(&(*root as u32).to_le_bytes());
+            let inner = tree_artifact("", tree).body;
+            body.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+            body.extend_from_slice(&inner);
+            format!("cache/{fingerprint:016x}/tree/{root}")
+        }
+        (
+            ArtifactKind::Replacement {
+                source,
+                target,
+                solver,
+                params_fp,
+                path_fp,
+            },
+            CacheValue::Replacement(answers),
+        ) => {
+            body.push(CACHE_REPLACEMENT);
+            body.extend_from_slice(&(*source as u32).to_le_bytes());
+            body.extend_from_slice(&(*target as u32).to_le_bytes());
+            body.push(solver.code());
+            body.extend_from_slice(&params_fp.to_le_bytes());
+            body.extend_from_slice(&path_fp.to_le_bytes());
+            body.extend_from_slice(&answers.den.to_le_bytes());
+            body.extend_from_slice(&(answers.scaled.len() as u64).to_le_bytes());
+            for d in &answers.scaled {
+                body.extend_from_slice(&d.raw().to_le_bytes());
+            }
+            format!(
+                "cache/{fingerprint:016x}/repl/{source}-{target}/{}/{params_fp:016x}",
+                solver.name()
+            )
+        }
+        // The cache never pairs a key kind with a foreign value kind;
+        // encoding such a pair would be a bug in the session.
+        (kind, value) => unreachable!("mismatched cache entry: {kind:?} vs {value:?}"),
+    };
+    Artifact {
+        kind: TAG_CACHE,
+        key,
+        body,
+    }
+}
+
+/// Decodes a [`TAG_CACHE`] artifact back into a cache entry, validating
+/// everything against `graph`: ids in range, paths re-proved shortest
+/// (including the *absence* of a path for negative entries), trees
+/// re-checked for the BFS invariants. A checksum-valid but lying body is
+/// an [`ArtifactError`], never a panic and never a wrong answer.
+///
+/// # Errors
+///
+/// [`ArtifactError::WrongKind`] for a non-cache artifact, otherwise any
+/// truncation/shape/invariant violation.
+pub fn cache_entry_from(a: &Artifact, graph: &DiGraph) -> Result<CacheEntry, ArtifactError> {
+    if a.kind != TAG_CACHE {
+        return Err(ArtifactError::WrongKind {
+            expected: TAG_CACHE,
+            found: a.kind,
+        });
+    }
+    let mut c = Cursor {
+        bytes: &a.body,
+        pos: 0,
+    };
+    let fingerprint = c.u64()?;
+    let code = c.take(1)?[0];
+    let n = graph.node_count();
+    let node = |raw: u32| -> Result<NodeId, ArtifactError> {
+        if (raw as usize) < n {
+            Ok(raw as NodeId)
+        } else {
+            Err(ArtifactError::Malformed(format!(
+                "node {raw} out of range (n = {n})"
+            )))
+        }
+    };
+    let (kind, value) = match code {
+        CACHE_DIAMETER => {
+            let d = c.u64()? as usize;
+            (ArtifactKind::Diameter, CacheValue::Diameter(d))
+        }
+        CACHE_PATH => {
+            let source = node(c.u32()?)?;
+            let target = node(c.u32()?)?;
+            let present = c.take(1)?[0];
+            let path = match present {
+                0 => {
+                    if shortest_st_path(graph, source, target).is_some() {
+                        return Err(ArtifactError::Malformed(format!(
+                            "entry claims {target} unreachable from {source}, but a path exists"
+                        )));
+                    }
+                    None
+                }
+                1 => {
+                    let count = c.u64()?;
+                    if count > (a.body.len() as u64) / 4 {
+                        return Err(ArtifactError::Malformed(format!(
+                            "edge count {count} cannot fit in a {}-byte body",
+                            a.body.len()
+                        )));
+                    }
+                    let m = graph.edge_count();
+                    let mut edges = Vec::with_capacity(count as usize);
+                    for _ in 0..count {
+                        let e = c.u32()? as usize;
+                        if e >= m {
+                            return Err(ArtifactError::Malformed(format!(
+                                "edge {e} out of range (m = {m})"
+                            )));
+                        }
+                        edges.push(e as EdgeId);
+                    }
+                    let path = StPath::new(graph, edges)
+                        .map_err(|e| ArtifactError::Malformed(format!("invalid path: {e}")))?;
+                    if path.source() != source || path.target() != target {
+                        return Err(ArtifactError::Malformed(format!(
+                            "path runs {} → {}, entry claims {source} → {target}",
+                            path.source(),
+                            path.target()
+                        )));
+                    }
+                    path.validate_shortest(graph)
+                        .map_err(|e| ArtifactError::Malformed(format!("not shortest: {e}")))?;
+                    Some(path)
+                }
+                other => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "bad path presence flag {other}"
+                    )))
+                }
+            };
+            (
+                ArtifactKind::Path { source, target },
+                CacheValue::Path(path),
+            )
+        }
+        CACHE_TREE => {
+            let root = node(c.u32()?)?;
+            let len = c.u64()? as usize;
+            let inner = Artifact {
+                kind: TAG_TREE,
+                key: String::new(),
+                body: c.take(len)?.to_vec(),
+            };
+            let tree = tree_from(&inner)?;
+            if tree.parent.len() != n {
+                return Err(ArtifactError::Malformed(format!(
+                    "tree spans {} nodes, graph has {n}",
+                    tree.parent.len()
+                )));
+            }
+            if tree.root != root {
+                return Err(ArtifactError::Malformed(format!(
+                    "tree rooted at {}, entry claims {root}",
+                    tree.root
+                )));
+            }
+            (
+                ArtifactKind::Tree { root },
+                CacheValue::Tree(Arc::new(tree)),
+            )
+        }
+        CACHE_REPLACEMENT => {
+            let source = node(c.u32()?)?;
+            let target = node(c.u32()?)?;
+            let solver_code = c.take(1)?[0];
+            let solver = SolverKind::from_code(solver_code).ok_or_else(|| {
+                ArtifactError::Malformed(format!("unknown solver code {solver_code}"))
+            })?;
+            let params_fp = c.u64()?;
+            let path_fp = c.u64()?;
+            let den = c.u64()?;
+            if den == 0 {
+                return Err(ArtifactError::Malformed("zero denominator".into()));
+            }
+            let count = c.u64()?;
+            if count > (a.body.len() as u64) / 8 {
+                return Err(ArtifactError::Malformed(format!(
+                    "count {count} cannot fit in a {}-byte body",
+                    a.body.len()
+                )));
+            }
+            let mut scaled = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                scaled.push(Dist::from_raw(c.u64()?));
+            }
+            (
+                ArtifactKind::Replacement {
+                    source,
+                    target,
+                    solver,
+                    params_fp,
+                    path_fp,
+                },
+                CacheValue::Replacement(Arc::new(ScaledAnswers { scaled, den })),
+            )
+        }
+        other => {
+            return Err(ArtifactError::Malformed(format!(
+                "unknown cache entry code {other}"
+            )))
+        }
+    };
+    c.finish()?;
+    Ok(CacheEntry {
+        fingerprint,
+        kind,
+        value,
+    })
+}
+
+// ---------------------------------------------------------------------
 // File-level convenience
 // ---------------------------------------------------------------------
 
@@ -416,6 +692,115 @@ mod tests {
         let mut a = good.clone();
         a.body[16 + 12 * n] = 9;
         assert!(matches!(tree_from(&a), Err(ArtifactError::Malformed(_))));
+    }
+
+    #[test]
+    fn cache_entries_round_trip_every_kind() {
+        let g = metro_ring(8);
+        let fp = g.fingerprint();
+        let mut net = Network::new(&g);
+        let (tree, _) = build_bfs_tree(&mut net, 2).unwrap();
+        let path = graphkit::alg::shortest_st_path(&g, 0, 3).unwrap();
+        let entries = vec![
+            (ArtifactKind::Diameter, CacheValue::Diameter(4)),
+            (
+                ArtifactKind::Path {
+                    source: 0,
+                    target: 3,
+                },
+                CacheValue::Path(Some(path.clone())),
+            ),
+            (
+                ArtifactKind::Tree { root: 2 },
+                CacheValue::Tree(Arc::new(tree.clone())),
+            ),
+            (
+                ArtifactKind::Replacement {
+                    source: 0,
+                    target: 3,
+                    solver: SolverKind::Unweighted,
+                    params_fp: 0xabc,
+                    path_fp: 0xdef,
+                },
+                CacheValue::Replacement(Arc::new(ScaledAnswers {
+                    scaled: vec![Dist::new(5), Dist::INF, Dist::new(4)],
+                    den: 1,
+                })),
+            ),
+        ];
+        for (kind, value) in entries {
+            let a = cache_artifact(fp, &kind, &value);
+            assert_eq!(a.kind, TAG_CACHE);
+            let back = cache_entry_from(&a, &g).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(back.fingerprint, fp);
+            assert_eq!(back.kind, kind);
+            match (&back.value, &value) {
+                (CacheValue::Diameter(a), CacheValue::Diameter(b)) => assert_eq!(a, b),
+                (CacheValue::Path(a), CacheValue::Path(b)) => {
+                    assert_eq!(
+                        a.as_ref().map(|p| p.edges().to_vec()),
+                        b.as_ref().map(|p| p.edges().to_vec())
+                    );
+                }
+                (CacheValue::Tree(a), CacheValue::Tree(b)) => {
+                    assert_eq!(a.parent, b.parent);
+                    assert_eq!(a.depth, b.depth);
+                }
+                (CacheValue::Replacement(a), CacheValue::Replacement(b)) => {
+                    assert_eq!(a.scaled, b.scaled);
+                    assert_eq!(a.den, b.den);
+                }
+                other => panic!("kind changed shape: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_bodies_are_structured_errors() {
+        let g = metro_ring(6);
+        let fp = g.fingerprint();
+        let path = graphkit::alg::shortest_st_path(&g, 0, 2).unwrap();
+        let good = cache_artifact(
+            fp,
+            &ArtifactKind::Path {
+                source: 0,
+                target: 2,
+            },
+            &CacheValue::Path(Some(path)),
+        );
+        // Truncations never panic.
+        for cut in 0..good.body.len() {
+            let mut a = good.clone();
+            a.body.truncate(cut);
+            assert!(cache_entry_from(&a, &g).is_err(), "cut {cut}");
+        }
+        // A lying "unreachable" entry is rejected: the pair is reachable.
+        let lie = cache_artifact(
+            fp,
+            &ArtifactKind::Path {
+                source: 0,
+                target: 2,
+            },
+            &CacheValue::Path(None),
+        );
+        assert!(matches!(
+            cache_entry_from(&lie, &g),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // Unknown entry codes are structured errors.
+        let mut a = good.clone();
+        a.body[8] = 200;
+        assert!(matches!(
+            cache_entry_from(&a, &g),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // Wrong section tag is WrongKind.
+        let mut a = good.clone();
+        a.kind = TAG_DISTS;
+        assert!(matches!(
+            cache_entry_from(&a, &g),
+            Err(ArtifactError::WrongKind { .. })
+        ));
     }
 
     #[test]

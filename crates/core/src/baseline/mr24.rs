@@ -41,11 +41,12 @@ pub fn mr_zeta(n: usize, h: usize, zeta: usize) -> usize {
 /// Returns [`SolveError::Partitioned`] when the communication graph is
 /// disconnected.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
-    let mut net = Network::new(inst.graph);
-    let replacement = solve_on(&mut net, inst, params)?;
+    let mut session = crate::SolverSession::new(inst.graph, params.clone());
+    let (answers, mut metrics) = session.solve_instance(inst, params, crate::SolverKind::Mr24)?;
+    metrics.record_cache(session.stats().cache);
     Ok(RPathsOutput {
-        replacement,
-        metrics: net.take_metrics(),
+        replacement: answers.scaled.clone(),
+        metrics,
     })
 }
 

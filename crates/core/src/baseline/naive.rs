@@ -23,11 +23,12 @@ use crate::{Instance, Params, RPathsOutput, SolveError};
 /// Returns [`SolveError::Partitioned`] when the communication graph is
 /// disconnected.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
-    let mut net = Network::new(inst.graph);
-    let replacement = solve_on(&mut net, inst, params)?;
+    let mut session = crate::SolverSession::new(inst.graph, params.clone());
+    let (answers, mut metrics) = session.solve_instance(inst, params, crate::SolverKind::Naive)?;
+    metrics.record_cache(session.stats().cache);
     Ok(RPathsOutput {
-        replacement,
-        metrics: net.take_metrics(),
+        replacement: answers.scaled.clone(),
+        metrics,
     })
 }
 

@@ -75,8 +75,21 @@ pub struct Instance<'g> {
 impl<'g> Instance<'g> {
     /// Builds an instance from an explicit path.
     pub fn new(graph: &'g DiGraph, path: StPath) -> Result<Instance<'g>, InstanceError> {
-        path.validate_shortest(graph)?;
         let diameter = undirected_diameter(graph).ok_or(InstanceError::Disconnected)?;
+        Instance::with_parts(graph, path, diameter)
+    }
+
+    /// Builds an instance from parts a solver session already holds: the
+    /// path is still re-validated as shortest, but the (expensive)
+    /// undirected diameter is injected from the session's artifact cache
+    /// instead of being recomputed per instance.
+    pub(crate) fn with_parts(
+        graph: &'g DiGraph,
+        path: StPath,
+        diameter: usize,
+    ) -> Result<Instance<'g>, InstanceError> {
+        path.validate_shortest(graph)?;
+        debug_assert_eq!(undirected_diameter(graph), Some(diameter));
         let mut path_index = vec![None; graph.node_count()];
         for (i, &v) in path.nodes().iter().enumerate() {
             path_index[v] = Some(i);

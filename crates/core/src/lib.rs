@@ -30,6 +30,14 @@
 //! live in [`Params`]. Every solver returns both the answers and the
 //! full round/message/bit accounting of its run.
 //!
+//! For answering *many* queries against one graph, [`SolverSession`]
+//! ([`session`]) is the plan/execute layer: it batches failed-edge
+//! queries, shares the expensive phases across them, and caches every
+//! intermediate artifact in a deterministic LRU ([`cache`]) that
+//! persists through `rpaths-store` snapshots. The one-shot entry points
+//! above are thin wrappers over a fresh session, so their signatures
+//! and answers are unchanged.
+//!
 //! Every phase of every solver — tree construction, knowledge waves,
 //! hop-BFS, multi-source BFS, pipelines, broadcasts, aggregations — runs
 //! on the `congest` crate's deterministic sharded-parallel engine, so
@@ -58,19 +66,23 @@
 
 pub mod artifacts;
 pub mod baseline;
+pub mod cache;
 mod instance;
 pub mod knowledge;
 pub mod long;
 mod params;
 pub mod reachability;
 pub mod resilient;
+pub mod session;
 pub mod short;
 pub mod sisp;
 pub mod unweighted;
 pub mod weighted;
 
+pub use cache::{ArtifactCache, ArtifactKind, CacheKey, CacheValue, SolverKind};
 pub use instance::{Instance, InstanceError};
 pub use params::Params;
+pub use session::{Answer, Query, SessionError, SessionStats, SolverSession};
 
 use std::fmt;
 

@@ -45,19 +45,18 @@ impl ReachabilityOutput {
 /// Returns [`SolveError::Partitioned`] when the communication graph is
 /// disconnected.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<ReachabilityOutput, SolveError> {
-    if inst.graph.is_unweighted() {
-        let out = unweighted::solve(inst, params)?;
-        Ok(ReachabilityOutput {
-            survivable: out.replacement.iter().map(|d| d.is_finite()).collect(),
-            metrics: out.metrics,
-        })
+    let kind = if inst.graph.is_unweighted() {
+        crate::SolverKind::Unweighted
     } else {
-        let out = weighted::solve(inst, params)?;
-        Ok(ReachabilityOutput {
-            survivable: out.scaled.iter().map(|d| d.is_finite()).collect(),
-            metrics: out.metrics,
-        })
-    }
+        crate::SolverKind::Weighted
+    };
+    let mut session = crate::SolverSession::new(inst.graph, params.clone());
+    let (answers, mut metrics) = session.solve_instance(inst, params, kind)?;
+    metrics.record_cache(session.stats().cache);
+    Ok(ReachabilityOutput {
+        survivable: answers.scaled.iter().map(|d| d.is_finite()).collect(),
+        metrics,
+    })
 }
 
 /// Like [`solve`], but on a caller-provided network; metrics accumulate

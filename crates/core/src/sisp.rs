@@ -37,12 +37,9 @@ pub fn aggregate_min(net: &mut Network<'_>, tree: &BfsTree, values: &[Dist]) -> 
 /// Returns [`SolveError::Partitioned`] when the communication graph is
 /// disconnected.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<SispOutput, SolveError> {
-    let mut net = Network::new(inst.graph);
-    let value = solve_on(&mut net, inst, params)?;
-    Ok(SispOutput {
-        value,
-        metrics: net.take_metrics(),
-    })
+    let (value, metrics) =
+        crate::session::with_network(inst.graph, |net| solve_on(net, inst, params))?;
+    Ok(SispOutput { value, metrics })
 }
 
 /// `(1+ε)`-approximate 2-SiSP for weighted instances: Theorem 3's
@@ -63,13 +60,14 @@ pub fn solve_weighted(
     for i in 0..inst.hops() {
         values[inst.path.node(i)] = apx.scaled[i];
     }
-    let mut net = Network::new(inst.graph);
-    let (tree, _) = build_bfs_tree(&mut net, inst.s())?;
-    let value = aggregate(&mut net, &tree, AggOp::Min, &values);
+    let (value, mut agg) = crate::session::with_network(inst.graph, |net| {
+        let (tree, _) = build_bfs_tree(net, inst.s())?;
+        Ok(aggregate(net, &tree, AggOp::Min, &values))
+    })?;
     // Merge the aggregation phases into the solver's log by reference —
     // no deep clone of the phase records.
     let mut metrics = apx.metrics;
-    metrics.merge_from(&mut net.take_metrics());
+    metrics.merge_from(&mut agg);
     Ok((value, apx.den, metrics))
 }
 

@@ -16,7 +16,10 @@ use crate::{knowledge, long, short, Instance, Params, RPathsOutput, SolveError};
 ///
 /// Every phase runs on the sharded-parallel engine path, so the answers
 /// and the per-phase [`congest::RunStats`] are bit-identical at any
-/// `CONGEST_THREADS` setting.
+/// `CONGEST_THREADS` setting. This is a thin wrapper over a fresh
+/// [`crate::SolverSession`]; batch workloads should hold a session and
+/// use [`crate::SolverSession::solve_batch`] to reuse artifacts across
+/// queries.
 ///
 /// # Errors
 ///
@@ -28,11 +31,13 @@ use crate::{knowledge, long, short, Instance, Params, RPathsOutput, SolveError};
 /// Panics if the graph is weighted — use [`crate::weighted::solve`] for
 /// the `(1+ε)` algorithm of Theorem 3.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<RPathsOutput, SolveError> {
-    let mut net = Network::new(inst.graph);
-    let replacement = solve_on(&mut net, inst, params)?;
+    let mut session = crate::SolverSession::new(inst.graph, params.clone());
+    let (answers, mut metrics) =
+        session.solve_instance(inst, params, crate::SolverKind::Unweighted)?;
+    metrics.record_cache(session.stats().cache);
     Ok(RPathsOutput {
-        replacement,
-        metrics: net.take_metrics(),
+        replacement: answers.scaled.clone(),
+        metrics,
     })
 }
 

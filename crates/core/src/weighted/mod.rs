@@ -104,12 +104,14 @@ impl ApxOutput {
 /// Returns [`SolveError::Partitioned`] when the communication graph is
 /// disconnected.
 pub fn solve(inst: &Instance<'_>, params: &Params) -> Result<ApxOutput, SolveError> {
-    let mut net = Network::new(inst.graph);
-    let answers = solve_on(&mut net, inst, params)?;
+    let mut session = crate::SolverSession::new(inst.graph, params.clone());
+    let (answers, mut metrics) =
+        session.solve_instance(inst, params, crate::SolverKind::Weighted)?;
+    metrics.record_cache(session.stats().cache);
     Ok(ApxOutput {
-        scaled: answers.scaled,
+        scaled: answers.scaled.clone(),
         den: answers.den,
-        metrics: net.take_metrics(),
+        metrics,
     })
 }
 
@@ -153,7 +155,7 @@ pub fn solve_on(
 
 /// A pair (scaled lengths, denominator) produced by one side of the
 /// algorithm.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScaledAnswers {
     /// Scaled numerators, per path edge.
     pub scaled: Vec<Dist>,

@@ -231,6 +231,26 @@ impl DiGraph {
         b.build()
     }
 
+    /// A stable 64-bit identity of the graph's full structure: vertex
+    /// count, edge list (order, endpoints, weights), and the precomputed
+    /// CSR indexes.
+    ///
+    /// The fingerprint is an FNV-1a hash of [`DiGraph::to_snapshot`], so
+    /// it is identical across processes, platforms, and snapshot round
+    /// trips — two graphs fingerprint equal iff their snapshots are
+    /// byte-identical. Artifact caches key on it to decide whether a
+    /// persisted artifact still describes the graph in hand.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &b in &self.to_snapshot() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Sum of all edge weights.
     pub fn total_weight(&self) -> u64 {
         self.edges.iter().map(|e| e.weight).sum()
@@ -461,6 +481,38 @@ mod tests {
     fn rejects_zero_weight() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let g = diamond();
+        // Stable: the same construction and a snapshot round trip agree.
+        assert_eq!(g.fingerprint(), diamond().fingerprint());
+        assert_eq!(
+            DiGraph::from_snapshot(&g.to_snapshot())
+                .unwrap()
+                .fingerprint(),
+            g.fingerprint()
+        );
+        // Sensitive: weights, edge order, and extra vertices all count.
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 1);
+        b.add_arc(1, 3);
+        b.add_arc(0, 2);
+        b.add_edge(2, 3, 2);
+        assert_ne!(b.build().fingerprint(), g.fingerprint());
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(1, 3);
+        b.add_arc(0, 1);
+        b.add_arc(0, 2);
+        b.add_arc(2, 3);
+        assert_ne!(b.build().fingerprint(), g.fingerprint());
+        let mut b = GraphBuilder::new(5);
+        b.add_arc(0, 1);
+        b.add_arc(1, 3);
+        b.add_arc(0, 2);
+        b.add_arc(2, 3);
+        assert_ne!(b.build().fingerprint(), g.fingerprint());
     }
 
     #[test]

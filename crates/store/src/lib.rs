@@ -19,11 +19,11 @@
 //! ```
 //!
 //! Section tags: [`TAG_GRAPH`] (payload is
-//! `graphkit::DiGraph::to_snapshot`), [`TAG_DISTS`], [`TAG_TREE`], and
-//! [`TAG_BLOB`] (artifact sections: a length-prefixed UTF-8 key, then a
-//! kind-specific body — the typed codecs live in
-//! `rpaths_core::artifacts`). Exactly one graph section is required;
-//! artifact sections are optional and ordered.
+//! `graphkit::DiGraph::to_snapshot`), [`TAG_DISTS`], [`TAG_TREE`],
+//! [`TAG_BLOB`], and [`TAG_CACHE`] (artifact sections: a
+//! length-prefixed UTF-8 key, then a kind-specific body — the typed
+//! codecs live in `rpaths_core::artifacts`). Exactly one graph section
+//! is required; artifact sections are optional and ordered.
 //!
 //! # Durability contract
 //!
@@ -71,6 +71,13 @@ pub const TAG_DISTS: u32 = 2;
 pub const TAG_TREE: u32 = 3;
 /// Section tag: a keyed opaque-blob artifact (forward-compatible).
 pub const TAG_BLOB: u32 = 4;
+/// Section tag: one solver-session cache entry (see
+/// `rpaths_core::artifacts::cache_artifact`). The body opens with the
+/// graph fingerprint the entry was computed for; readers drop entries
+/// whose fingerprint does not match the graph in hand, and any
+/// corruption here degrades the load to [`Loaded::Partial`] (a cold
+/// cache), never a failed graph load.
+pub const TAG_CACHE: u32 = 5;
 
 const HEADER_LEN: usize = 12;
 const SECTION_HDR_LEN: usize = 12;
@@ -224,7 +231,7 @@ impl From<io::Error> for StoreError {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Artifact {
     /// Section tag this artifact is written under ([`TAG_DISTS`],
-    /// [`TAG_TREE`], or [`TAG_BLOB`]).
+    /// [`TAG_TREE`], [`TAG_BLOB`], or [`TAG_CACHE`]).
     pub kind: u32,
     /// Caller-chosen identity, e.g. `"unweighted/replacement"`.
     pub key: String,
@@ -514,12 +521,14 @@ impl Snapshot {
                         }
                     }
                 }
-                TAG_DISTS | TAG_TREE | TAG_BLOB => match decode_artifact(tag, payload) {
-                    Ok(a) => artifacts.push(a),
-                    Err(detail) => {
-                        fail_or_drop!(tag, StoreError::Malformed { section, detail })
+                TAG_DISTS | TAG_TREE | TAG_BLOB | TAG_CACHE => {
+                    match decode_artifact(tag, payload) {
+                        Ok(a) => artifacts.push(a),
+                        Err(detail) => {
+                            fail_or_drop!(tag, StoreError::Malformed { section, detail })
+                        }
                     }
-                },
+                }
                 unknown => skipped_unknown.push(unknown),
             }
             pos = frame_end;

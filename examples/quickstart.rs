@@ -1,11 +1,12 @@
-//! Quickstart: build a small network, run the paper's exact
-//! replacement-paths algorithm, and print what each edge's failure costs.
+//! Quickstart: build a small network, open a solver session, and answer
+//! a batch of failed-edge queries — first cold, then again from the warm
+//! artifact cache.
 //!
 //! Run with: `cargo run --release -p rpaths --example quickstart`
 
 use graphkit::alg::replacement_lengths;
 use graphkit::GraphBuilder;
-use rpaths_core::{unweighted, Instance, Params};
+use rpaths_core::{Instance, Params, Query, SolverSession};
 
 fn main() {
     // A ring of 10 routers with a few chords. Traffic flows from router 0
@@ -19,35 +20,66 @@ fn main() {
     b.add_bidirectional(2, 6);
     let g = b.build();
 
-    // The problem instance: the graph plus a validated shortest s-t path.
-    let inst = Instance::from_endpoints(&g, 0, 5).expect("0 reaches 5");
+    // A session binds the graph once; every query afterwards is planned
+    // against its artifact cache.
+    let mut session = SolverSession::new(&g, Params::for_n(n));
+    let path = session.shortest_path(0, 5).expect("0 reaches 5");
     println!(
         "shortest path from 0 to 5: {:?} ({} hops)",
-        inst.path.nodes(),
-        inst.hops()
+        path.nodes(),
+        path.hops()
     );
 
-    // Solve RPaths with the paper's defaults (ζ = n^{2/3}).
-    let params = Params::for_instance(&inst);
-    let out = unweighted::solve(&inst, &params).expect("ring is connected");
+    // The failover batch: "what does it cost if this edge fails?" for
+    // every edge of the path.
+    let queries: Vec<Query> = path
+        .edges()
+        .iter()
+        .map(|&e| Query::avoiding(0, 5, e))
+        .collect();
+    let answers = session.solve_batch(&queries).expect("ring is connected");
 
     println!("\nif an edge of the path fails, the best reroute costs:");
-    for (i, len) in out.replacement.iter().enumerate() {
+    for (i, a) in answers.iter().enumerate() {
         println!(
             "  edge ({} -> {}): {}",
-            inst.path.node(i),
-            inst.path.node(i + 1),
-            len
+            path.node(i),
+            path.node(i + 1),
+            a.scaled
         );
     }
-    println!("\nsecond simple shortest path (2-SiSP): {}", out.sisp());
+    let stats = session.stats();
+    println!(
+        "\ncold batch: {} queries, {} solver run(s), cache hit rate {:.0}%",
+        stats.queries,
+        stats.solver_runs,
+        100.0 * stats.cache.hit_rate()
+    );
     println!(
         "CONGEST cost: {} rounds, {} messages",
-        out.metrics.rounds(),
-        out.metrics.total.messages
+        session.metrics().rounds(),
+        session.metrics().total.messages
+    );
+
+    // The same batch again: the session answers it entirely from the
+    // cache — zero additional solver runs, zero additional rounds.
+    let rounds_before = session.metrics().rounds();
+    let again = session.solve_batch(&queries).expect("still connected");
+    assert_eq!(again, answers);
+    let stats = session.stats();
+    assert_eq!(session.metrics().rounds(), rounds_before);
+    println!(
+        "warm batch: {} queries total, still {} solver run(s), cache hit rate {:.0}%",
+        stats.queries,
+        stats.solver_runs,
+        100.0 * stats.cache.hit_rate()
     );
 
     // The distributed answers always match the centralized oracle.
-    assert_eq!(out.replacement, replacement_lengths(&g, &inst.path));
+    let inst = Instance::from_endpoints(&g, 0, 5).expect("0 reaches 5");
+    let oracle = replacement_lengths(&g, &inst.path);
+    for (a, want) in answers.iter().zip(&oracle) {
+        assert_eq!(a.scaled, *want);
+    }
     println!("\n(verified against the centralized oracle)");
 }

@@ -1,8 +1,9 @@
 //! Transportation scenario with *weighted* roads: travel times differ per
 //! segment, so the weighted `(1+ε)`-approximate algorithm of Theorem 3 is
-//! the right tool. For every segment of the best route we get a
-//! guaranteed-within-(1+ε) estimate of the detour cost if that segment
-//! closes.
+//! the right tool. A dispatch desk fields many "segment X just closed —
+//! how bad is the detour?" queries against the same city map, which is
+//! exactly the workload a [`SolverSession`] batches: one warm session
+//! answers the whole sweep with a single solver run.
 //!
 //! Run with: `cargo run --release -p rpaths --example transport_rerouting`
 
@@ -10,7 +11,7 @@ use graphkit::alg::replacement_lengths;
 use graphkit::GraphBuilder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rpaths_core::{weighted, Instance, Params};
+use rpaths_core::{Instance, Params, Query, SolverSession};
 
 fn main() {
     // A weighted grid city: 6x9 intersections, eastbound and southbound
@@ -40,41 +41,74 @@ fn main() {
     let g = b.build();
 
     let (s, t) = (at(0, 0), at(rows - 1, cols - 1));
-    let inst = Instance::from_endpoints(&g, s, t).expect("route exists");
-    let base = inst.suffix[0];
+
+    // ε = 1/4: answers within 25% of optimal, guaranteed.
+    let mut params = Params::for_n(g.node_count()).with_eps(1, 4);
+    params.landmark_prob = 1.0; // city-scale n: make w.h.p. a certainty
+    let mut session = SolverSession::new(&g, params.clone());
+
+    let route = session.shortest_path(s, t).expect("route exists");
     println!(
         "best route {} -> {}: {} minutes over {} segments",
         s,
         t,
-        base,
-        inst.hops()
+        route.length(&g),
+        route.hops()
     );
 
-    // ε = 1/4: answers within 25% of optimal, guaranteed.
-    let mut params = Params::for_instance(&inst).with_eps(1, 4);
-    params.landmark_prob = 1.0; // city-scale n: make w.h.p. a certainty
-    let out = weighted::solve(&inst, &params).expect("city grid is connected");
-    let est = out.values();
+    // The dispatch sweep: one closure query per segment of the route.
+    let queries: Vec<Query> = route
+        .edges()
+        .iter()
+        .map(|&e| Query::avoiding(s, t, e))
+        .collect();
+    let answers = session
+        .solve_batch(&queries)
+        .expect("city grid is connected");
 
     println!("\nif a segment closes, the reroute takes about:");
-    for (i, v) in est.iter().enumerate() {
+    for (i, a) in answers.iter().enumerate() {
         println!(
             "  segment {:>2} ({} -> {}): {:>6.1} min",
             i,
-            inst.path.node(i),
-            inst.path.node(i + 1),
-            v
+            route.node(i),
+            route.node(i + 1),
+            a.value()
         );
     }
+    let stats = session.stats();
     println!(
-        "\ncomputed in {} CONGEST rounds with ε = {}",
-        out.metrics.rounds(),
-        params.eps()
+        "\ncomputed in {} CONGEST rounds with ε = {}: {} queries, {} solver run(s)",
+        session.metrics().rounds(),
+        params.eps(),
+        stats.queries,
+        stats.solver_runs,
     );
 
-    // The (1+ε) guarantee, checked in exact rational arithmetic:
+    // Rush hour: the same closures get re-queried (plus some segments
+    // that were never on the best route, answered from the route alone).
+    let mut rush: Vec<Query> = queries.clone();
+    rush.push(Query::intact(s, t));
+    let rounds_before = session.metrics().rounds();
+    let rush_answers = session.solve_batch(&rush).expect("still connected");
+    assert_eq!(&rush_answers[..queries.len()], &answers[..]);
+    let stats = session.stats();
+    println!(
+        "warm re-query: zero new rounds ({} still), cache hit rate {:.0}%",
+        session.metrics().rounds() - rounds_before,
+        100.0 * stats.cache.hit_rate()
+    );
+
+    // The (1+ε) guarantee, checked in exact rational arithmetic against
+    // the one-shot solver's output (bit-identical to the session's).
+    let inst = Instance::from_endpoints(&g, s, t).expect("route exists");
+    let out = rpaths_core::weighted::solve(&inst, &params).expect("city grid is connected");
     let oracle = replacement_lengths(&g, &inst.path);
     out.check_guarantee(&oracle, params.eps_num, params.eps_den)
         .expect("Theorem 3 guarantee");
+    for (a, x) in answers.iter().zip(&out.scaled) {
+        assert_eq!(a.scaled, *x, "session and one-shot answers agree");
+        assert_eq!(a.den, out.den);
+    }
     println!("(all estimates verified within (1+ε) of the exact optimum)");
 }

@@ -19,16 +19,19 @@
 
 use graphkit::gen::{metro_ring, random_digraph};
 use graphkit::DiGraph;
-use rpaths_core::artifacts::{dists_artifact, tree_artifact};
-use rpaths_core::{unweighted, Instance, Params};
+use rpaths_core::artifacts::{cache_artifact, dists_artifact, tree_artifact};
+use rpaths_core::{unweighted, ArtifactKind, CacheValue, Instance, Params};
 use rpaths_store::{crc32, Artifact, Loaded, Snapshot, StoreError};
+use std::sync::Arc;
 
-/// A representative snapshot: a real graph plus tree, dists, and blob
-/// artifacts, so flips land in every section type the format has.
+/// A representative snapshot: a real graph plus tree, dists, blob, and
+/// session-cache artifacts, so flips land in every section type the
+/// format has ([`TAG_CACHE`] included).
 fn sample() -> (Vec<u8>, Vec<u8>) {
     let g = random_digraph(24, 60, 9);
     let mut net = congest::Network::new(&g);
     let (tree, _) = congest::bfs_tree::build_bfs_tree(&mut net, 0).expect("spanning");
+    let fp = g.fingerprint();
     let graph_bytes = g.to_snapshot();
     let mut snap = Snapshot::new(g);
     snap.artifacts.push(tree_artifact("bfs/0", &tree));
@@ -38,6 +41,27 @@ fn sample() -> (Vec<u8>, Vec<u8>) {
     ));
     snap.artifacts
         .push(Artifact::blob("notes", b"free-form payload".to_vec()));
+    // Two persisted session-cache entries, as SolverSession::save writes
+    // them: a cheap scalar and a full replacement-answers vector.
+    snap.artifacts.push(cache_artifact(
+        fp,
+        &ArtifactKind::Diameter,
+        &CacheValue::Diameter(7),
+    ));
+    snap.artifacts.push(cache_artifact(
+        fp,
+        &ArtifactKind::Replacement {
+            source: 0,
+            target: 5,
+            solver: rpaths_core::SolverKind::Unweighted,
+            params_fp: 0xfeed,
+            path_fp: 0xbeef,
+        },
+        &CacheValue::Replacement(Arc::new(rpaths_core::weighted::ScaledAnswers {
+            scaled: vec![graphkit::Dist::new(6), graphkit::Dist::INF],
+            den: 1,
+        })),
+    ));
     (snap.encode(), graph_bytes)
 }
 
@@ -135,7 +159,41 @@ fn corrupting_each_artifact_drops_only_artifacts() {
         pos = payload + len + 4;
         section += 1;
     }
-    assert!(section >= 4, "expected graph + 3 artifact sections");
+    assert!(section >= 6, "expected graph + 5 artifact sections");
+}
+
+#[test]
+fn corrupt_cache_sections_degrade_to_partial_cold_cache() {
+    // The session-cache acceptance criterion at the store layer:
+    // corrupting a persisted cache section must yield `Loaded::Partial`
+    // with the graph bit-identical — a cold cache, never a failed load.
+    let (bytes, graph_bytes) = sample();
+    // Every cache artifact key starts with "cache/"; flipping a byte of
+    // that marker breaks exactly that section's CRC.
+    let positions: Vec<usize> = bytes
+        .windows(6)
+        .enumerate()
+        .filter(|(_, w)| *w == b"cache/")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(positions.len(), 2, "sample persists two cache sections");
+    for pos in positions {
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 0xff;
+        match Snapshot::decode(&mutated) {
+            Ok(Loaded::Partial {
+                recovered, dropped, ..
+            }) => {
+                assert_eq!(
+                    recovered.graph.to_snapshot(),
+                    graph_bytes,
+                    "graph must survive cache corruption"
+                );
+                assert!(!dropped.is_empty(), "the bad cache section is reported");
+            }
+            other => panic!("cache flip at {pos}: expected Partial, got {other:?}"),
+        }
+    }
 }
 
 #[test]
@@ -167,7 +225,7 @@ fn unknown_sections_round_past_known_ones() {
         }) => {
             assert_eq!(skipped_unknown, vec![0x7001]);
             assert_eq!(snapshot.graph.to_snapshot(), graph_bytes);
-            assert_eq!(snapshot.artifacts.len(), 3);
+            assert_eq!(snapshot.artifacts.len(), 5);
         }
         other => panic!("expected Complete with a skip, got {other:?}"),
     }
