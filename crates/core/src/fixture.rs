@@ -1,0 +1,487 @@
+//! Self-contained regression fixtures for the differential harness.
+//!
+//! A fixture is one `rpaths-store` snapshot holding the full graph (a
+//! checksummed `TAG_GRAPH` section) plus a `TAG_BLOB` JSON document
+//! describing *one* differential check: which solver to run, with which
+//! [`Params`], at which engine thread counts, against which queries —
+//! and what the centralized oracle answered when the fixture was minted.
+//!
+//! Replaying a fixture ([`Fixture::replay`]) first **recomputes** the
+//! oracle from the stored graph and cross-checks it against the minted
+//! values (catching fixture corruption and silent oracle drift), then
+//! runs the solver through the same [`crate::oracle`] adapters the fuzz
+//! sweep uses. The corpus under `tests/regressions/` is replayed by
+//! `tests/fuzz_regressions.rs` on every tier-1 run, so every bug the
+//! fuzzer ever minimized stays fixed.
+
+use std::fmt;
+use std::path::Path;
+
+use graphkit::{DiGraph, Dist};
+use rpaths_store::{Artifact, Snapshot, StoreError};
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::{self, Divergence, FuzzSolver};
+use crate::session::Query;
+use crate::{Instance, Params};
+
+/// Artifact key of the fixture document inside the snapshot.
+pub const FIXTURE_KEY: &str = "fuzz/fixture";
+
+/// Fixture document version this build writes and accepts.
+pub const FIXTURE_VERSION: u32 = 1;
+
+/// File extension the corpus uses (`tests/regressions/*.rpfix`).
+pub const FIXTURE_EXT: &str = "rpfix";
+
+/// Sentinel for "no avoided edge" / "unreachable" in the JSON document
+/// (the vendored serde subset has no `Option`, and `u64::MAX` is how
+/// [`Dist::INF`] prints anyway).
+const NONE_SENTINEL: u64 = u64::MAX;
+
+#[derive(Serialize, Deserialize)]
+struct QueryDoc {
+    source: u64,
+    target: u64,
+    avoid: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FixtureDoc {
+    version: u32,
+    name: String,
+    origin: String,
+    solver: String,
+    source: u64,
+    target: u64,
+    zeta: u64,
+    landmark_prob_bits: u64,
+    seed: u64,
+    eps_num: u64,
+    eps_den: u64,
+    budget_factor: u64,
+    threads: Vec<u64>,
+    queries: Vec<QueryDoc>,
+    expected: Vec<u64>,
+}
+
+/// One checked-in differential repro: graph + solver + parameters +
+/// the oracle's minted answers.
+///
+/// Two modes, distinguished by `queries`:
+///
+/// - **instance mode** (`queries` empty): run `solver` on the full
+///   instance `(graph, source → target)` and hold it to its oracle;
+///   `expected` is the minted per-path-edge replacement length vector.
+/// - **batch mode** (`queries` non-empty): run the queries through a
+///   [`crate::SolverSession`] and hold every answer to a filtered
+///   Dijkstra; `expected` is the minted per-query oracle length.
+#[derive(Clone, Debug)]
+pub struct Fixture {
+    /// Fixture name (also the suggested file stem).
+    pub name: String,
+    /// Free-text provenance: harness seed, case index, minimizer stats.
+    pub origin: String,
+    /// Which solver surface to drive.
+    pub solver: FuzzSolver,
+    /// Instance source (ignored in batch mode).
+    pub source: usize,
+    /// Instance target (ignored in batch mode).
+    pub target: usize,
+    /// Solver parameters, reconstructed exactly (bit-exact
+    /// `landmark_prob`).
+    pub params: Params,
+    /// Engine thread counts to replay at.
+    pub threads: Vec<usize>,
+    /// Batch queries (empty selects instance mode).
+    pub queries: Vec<Query>,
+    /// Minted oracle values (see mode description).
+    pub expected: Vec<Dist>,
+    /// The full graph.
+    pub graph: DiGraph,
+}
+
+/// Why a fixture could not be loaded or replayed green.
+#[derive(Debug)]
+pub enum FixtureError {
+    /// Snapshot-level failure (I/O, checksum, framing).
+    Store(StoreError),
+    /// The snapshot loaded but its fixture document is missing or
+    /// malformed.
+    Decode(String),
+    /// The stored oracle values no longer match a fresh oracle run on
+    /// the stored graph: the fixture bytes rotted or the oracle's
+    /// semantics drifted. Either way the fixture cannot vouch for
+    /// anything.
+    StaleOracle(String),
+    /// The solver diverged from the oracle — the regression the fixture
+    /// guards has reappeared (or, for a deliberately injected defect,
+    /// was successfully detected).
+    Diverged(Divergence),
+}
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixtureError::Store(e) => write!(f, "snapshot error: {e}"),
+            FixtureError::Decode(e) => write!(f, "bad fixture document: {e}"),
+            FixtureError::StaleOracle(e) => write!(f, "stale fixture oracle: {e}"),
+            FixtureError::Diverged(d) => write!(f, "divergence: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+impl From<StoreError> for FixtureError {
+    fn from(e: StoreError) -> FixtureError {
+        FixtureError::Store(e)
+    }
+}
+
+fn dist_to_u64(d: Dist) -> u64 {
+    d.finite().unwrap_or(NONE_SENTINEL)
+}
+
+fn u64_to_dist(v: u64) -> Dist {
+    if v == NONE_SENTINEL {
+        Dist::INF
+    } else {
+        Dist::new(v)
+    }
+}
+
+impl Fixture {
+    /// Mints an instance-mode fixture: records the oracle's replacement
+    /// lengths for `(graph, source → target)` now, to be enforced on
+    /// every future replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is unreachable from `source` (no instance).
+    #[allow(clippy::too_many_arguments)]
+    pub fn instance_mode(
+        name: impl Into<String>,
+        origin: impl Into<String>,
+        graph: DiGraph,
+        source: usize,
+        target: usize,
+        params: Params,
+        solver: FuzzSolver,
+        threads: Vec<usize>,
+    ) -> Fixture {
+        let inst = Instance::from_endpoints(&graph, source, target)
+            .expect("fixture instance must be constructible");
+        let expected = oracle::oracle_replacements(&inst);
+        drop(inst);
+        Fixture {
+            name: name.into(),
+            origin: origin.into(),
+            solver,
+            source,
+            target,
+            params,
+            threads,
+            queries: Vec::new(),
+            expected,
+            graph,
+        }
+    }
+
+    /// Mints a batch-mode fixture: records the filtered-Dijkstra oracle
+    /// for every query now.
+    pub fn batch_mode(
+        name: impl Into<String>,
+        origin: impl Into<String>,
+        graph: DiGraph,
+        params: Params,
+        queries: Vec<Query>,
+        threads: Vec<usize>,
+    ) -> Fixture {
+        let expected = queries
+            .iter()
+            .map(|q| oracle::oracle_query(&graph, q))
+            .collect();
+        Fixture {
+            name: name.into(),
+            origin: origin.into(),
+            solver: if graph.is_unweighted() {
+                FuzzSolver::Unweighted
+            } else {
+                FuzzSolver::Weighted
+            },
+            source: 0,
+            target: 0,
+            params,
+            threads,
+            queries,
+            expected,
+            graph,
+        }
+    }
+
+    fn doc(&self) -> FixtureDoc {
+        FixtureDoc {
+            version: FIXTURE_VERSION,
+            name: self.name.clone(),
+            origin: self.origin.clone(),
+            solver: self.solver.name().to_string(),
+            source: self.source as u64,
+            target: self.target as u64,
+            zeta: self.params.zeta as u64,
+            landmark_prob_bits: self.params.landmark_prob.to_bits(),
+            seed: self.params.seed,
+            eps_num: self.params.eps_num,
+            eps_den: self.params.eps_den,
+            budget_factor: self.params.budget_factor,
+            threads: self.threads.iter().map(|&t| t as u64).collect(),
+            queries: self
+                .queries
+                .iter()
+                .map(|q| QueryDoc {
+                    source: q.source as u64,
+                    target: q.target as u64,
+                    avoid: q.avoid.map_or(NONE_SENTINEL, |e| e as u64),
+                })
+                .collect(),
+            expected: self.expected.iter().map(|&d| dist_to_u64(d)).collect(),
+        }
+    }
+
+    /// Atomically writes the fixture as one snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let json = serde_json::to_string_pretty(&self.doc()).expect("fixture doc serializes");
+        let mut snapshot = Snapshot::new(self.graph.clone());
+        snapshot
+            .artifacts
+            .push(Artifact::blob(FIXTURE_KEY, json.into_bytes()));
+        snapshot.write(path)
+    }
+
+    /// Reads a fixture back. Degraded snapshots are rejected: a corrupt
+    /// corpus entry must fail loudly, not replay a weaker check.
+    ///
+    /// # Errors
+    ///
+    /// [`FixtureError::Store`] / [`FixtureError::Decode`].
+    pub fn read(path: impl AsRef<Path>) -> Result<Fixture, FixtureError> {
+        let loaded = Snapshot::read(&path)?;
+        if loaded.is_partial() {
+            return Err(FixtureError::Decode(format!(
+                "snapshot is degraded ({} dropped sections)",
+                loaded.dropped().len()
+            )));
+        }
+        let snapshot = loaded.into_snapshot();
+        let blob = snapshot
+            .artifacts
+            .iter()
+            .find(|a| a.key == FIXTURE_KEY)
+            .ok_or_else(|| FixtureError::Decode(format!("no {FIXTURE_KEY:?} artifact")))?;
+        let text = std::str::from_utf8(&blob.body)
+            .map_err(|e| FixtureError::Decode(format!("fixture blob is not UTF-8: {e}")))?;
+        let doc: FixtureDoc =
+            serde_json::from_str(text).map_err(|e| FixtureError::Decode(e.to_string()))?;
+        if doc.version != FIXTURE_VERSION {
+            return Err(FixtureError::Decode(format!(
+                "unsupported fixture version {}",
+                doc.version
+            )));
+        }
+        let solver = FuzzSolver::parse(&doc.solver)
+            .ok_or_else(|| FixtureError::Decode(format!("unknown solver {:?}", doc.solver)))?;
+        let params = Params {
+            zeta: doc.zeta as usize,
+            landmark_prob: f64::from_bits(doc.landmark_prob_bits),
+            seed: doc.seed,
+            eps_num: doc.eps_num,
+            eps_den: doc.eps_den,
+            budget_factor: doc.budget_factor,
+        };
+        Ok(Fixture {
+            name: doc.name,
+            origin: doc.origin,
+            solver,
+            source: doc.source as usize,
+            target: doc.target as usize,
+            params,
+            threads: doc.threads.iter().map(|&t| t as usize).collect(),
+            queries: doc
+                .queries
+                .iter()
+                .map(|q| Query {
+                    source: q.source as usize,
+                    target: q.target as usize,
+                    avoid: (q.avoid != NONE_SENTINEL).then_some(q.avoid as usize),
+                })
+                .collect(),
+            expected: doc.expected.iter().map(|&v| u64_to_dist(v)).collect(),
+            graph: snapshot.graph,
+        })
+    }
+
+    /// Recomputes the oracle from the stored graph and compares it to
+    /// the minted values.
+    ///
+    /// # Errors
+    ///
+    /// [`FixtureError::StaleOracle`] on any disagreement.
+    pub fn verify_oracle(&self) -> Result<(), FixtureError> {
+        let fresh: Vec<Dist> = if self.queries.is_empty() {
+            let inst = Instance::from_endpoints(&self.graph, self.source, self.target)
+                .map_err(|e| FixtureError::StaleOracle(format!("instance: {e}")))?;
+            oracle::oracle_replacements(&inst)
+        } else {
+            self.queries
+                .iter()
+                .map(|q| oracle::oracle_query(&self.graph, q))
+                .collect()
+        };
+        if fresh != self.expected {
+            return Err(FixtureError::StaleOracle(format!(
+                "minted {:?}, recomputed {:?}",
+                self.expected, fresh
+            )));
+        }
+        Ok(())
+    }
+
+    /// Replays the fixture: oracle re-verification, then the solver
+    /// differential at every thread count in `self.threads` (or only
+    /// `threads_override`), with bit-identity across thread counts in
+    /// batch mode.
+    ///
+    /// # Errors
+    ///
+    /// [`FixtureError::Diverged`] when the guarded regression has
+    /// reappeared; [`FixtureError::StaleOracle`] when the fixture
+    /// itself no longer self-validates.
+    pub fn replay(&self, threads_override: Option<usize>) -> Result<(), FixtureError> {
+        self.verify_oracle()?;
+        let threads: Vec<usize> = match threads_override {
+            Some(t) => vec![t],
+            None if self.threads.is_empty() => vec![1],
+            None => self.threads.clone(),
+        };
+        if self.queries.is_empty() {
+            let inst = Instance::from_endpoints(&self.graph, self.source, self.target)
+                .map_err(|e| FixtureError::StaleOracle(format!("instance: {e}")))?;
+            for &t in &threads {
+                oracle::check_instance(&inst, &self.params, self.solver, t)
+                    .map_err(FixtureError::Diverged)?;
+            }
+        } else {
+            let mut first: Option<Vec<crate::Answer>> = None;
+            for &t in &threads {
+                let answers = oracle::check_batch(&self.graph, &self.params, &self.queries, t)
+                    .map_err(FixtureError::Diverged)?;
+                if let Some(prev) = &first {
+                    if *prev != answers {
+                        return Err(FixtureError::Diverged(Divergence {
+                            check: format!(
+                                "batch answers differ between {} and {t} threads",
+                                threads[0]
+                            ),
+                            index: None,
+                            got: format!("{answers:?}"),
+                            want: format!("{prev:?}"),
+                        }));
+                    }
+                } else {
+                    first = Some(answers);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphkit::gen::parallel_lane;
+
+    fn lane_fixture() -> Fixture {
+        let (g, s, t) = parallel_lane(8, 2, 2);
+        let mut params = Params::with_zeta(g.node_count(), 4);
+        params.landmark_prob = 1.0;
+        Fixture::instance_mode(
+            "lane-8",
+            "unit test",
+            g,
+            s,
+            t,
+            params,
+            FuzzSolver::Unweighted,
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn round_trip_and_green_replay() {
+        let fix = lane_fixture();
+        let dir = std::env::temp_dir().join(format!("rpfix-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lane-8.rpfix");
+        fix.write(&path).unwrap();
+        let back = Fixture::read(&path).unwrap();
+        assert_eq!(back.name, "lane-8");
+        assert_eq!(back.solver, FuzzSolver::Unweighted);
+        assert_eq!(back.threads, vec![1, 2]);
+        assert_eq!(back.expected, fix.expected);
+        assert_eq!(back.graph.fingerprint(), fix.graph.fingerprint());
+        back.replay(None).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_mode_round_trip() {
+        let (g, s, t) = parallel_lane(6, 3, 2);
+        let path = graphkit::alg::shortest_st_path(&g, s, t).unwrap();
+        let queries = vec![
+            Query::intact(s, t),
+            Query::avoiding(s, t, path.edge(0)),
+            Query::avoiding(s, t, path.edge(2)),
+        ];
+        let fix = Fixture::batch_mode(
+            "lane-batch",
+            "unit test",
+            g,
+            Params::with_zeta(19, 4),
+            queries,
+            vec![1, 2],
+        );
+        let dir = std::env::temp_dir().join(format!("rpfix-test-b-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("lane-batch.rpfix");
+        fix.write(&p).unwrap();
+        let back = Fixture::read(&p).unwrap();
+        assert_eq!(back.queries, fix.queries);
+        back.replay(None).unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn injected_bug_replays_red() {
+        let fix = lane_fixture();
+        crate::testhooks::set_flip_unweighted_merge(true);
+        let replay = fix.replay(Some(1));
+        crate::testhooks::set_flip_unweighted_merge(false);
+        assert!(
+            matches!(replay, Err(FixtureError::Diverged(_))),
+            "flipped merge must replay red, got {replay:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_expected_is_stale() {
+        let mut fix = lane_fixture();
+        fix.expected[0] = Dist::new(1);
+        let err = fix.verify_oracle().unwrap_err();
+        assert!(matches!(err, FixtureError::StaleOracle(_)));
+    }
+}

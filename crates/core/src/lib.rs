@@ -67,15 +67,18 @@
 pub mod artifacts;
 pub mod baseline;
 pub mod cache;
+pub mod fixture;
 mod instance;
 pub mod knowledge;
 pub mod long;
+pub mod oracle;
 mod params;
 pub mod reachability;
 pub mod resilient;
 pub mod session;
 pub mod short;
 pub mod sisp;
+pub mod testhooks;
 pub mod unweighted;
 pub mod weighted;
 

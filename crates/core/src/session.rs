@@ -384,6 +384,17 @@ impl<'g> SolverSession<'g> {
 
         let mut answers = vec![Answer::unreachable(); queries.len()];
         for ((s, t), idxs) in groups {
+            if s == t {
+                // Zero-length path: no edge of it can fail, so every
+                // query (with or without a failed edge) answers 0.
+                for &i in &idxs {
+                    answers[i] = Answer {
+                        scaled: Dist::new(0),
+                        den: 1,
+                    };
+                }
+                continue;
+            }
             let Some(path) = self.shortest_path(s, t) else {
                 continue; // unreachable pair: all its queries stay ∞
             };

@@ -64,10 +64,13 @@ pub fn solve_on(
     debug_assert_eq!(know.dist_s, inst.prefix);
     let short_ans = short::solve_short(net, inst, params);
     let long_ans = long::solve_long(net, inst, params, &tree);
+    // Test-only injectable defect (see `crate::testhooks`): a flipped
+    // tie-break keeps the larger side where the regimes disagree.
+    let flip = crate::testhooks::flip_unweighted_merge();
     Ok(short_ans
         .into_iter()
         .zip(long_ans)
-        .map(|(a, b)| a.min(b))
+        .map(|(a, b)| if flip { a.max(b) } else { a.min(b) })
         .collect())
 }
 

@@ -1,0 +1,1202 @@
+//! `rpaths-fuzz`: seeded ground-truth differential fuzzing.
+//!
+//! The harness sweeps a randomized but fully seeded matrix —
+//!
+//! **topology family** (planted path, parallel lane, road grid, Octopus
+//! pods, layered DAG, metro ring, power law, weighted random) ×
+//! **solver** (every [`FuzzSolver`] surface, one-shot and
+//! `SolverSession::solve_batch`) × **fault plan** (none / transient /
+//! permanent) × **engine threads** ({1, 2, 8}) —
+//!
+//! and holds every answer to the centralized `graphkit::alg` oracles
+//! through the [`rpaths_core::oracle`] adapters, plus bit-identity
+//! cross-checks (parallel vs sequential, warm vs cold batches).
+//!
+//! Case costs are tiered so a single sweep spans five decades of `n`:
+//! the full distributed-solver differential runs at `n` up to ~10³
+//! (the engine is `Θ(rounds·m)` work on one host), while the scale tier
+//! pushes `n` to 10⁵ through the checks that stay near-linear —
+//! generator invariants, session path answers vs Dijkstra (which skip
+//! the `O(n·m)` diameter by construction), snapshot round-trips, and
+//! the distributed BFS tree vs a centralized BFS at mid scale.
+//!
+//! On a divergence the harness greedily minimizes the repro
+//! ([`minimize`]) and writes it as a self-contained
+//! [`rpaths_core::fixture::Fixture`] under `tests/regressions/`, where
+//! `tests/fuzz_regressions.rs` replays it on every tier-1 run. See
+//! `FUZZING.md` for the workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minimize;
+
+use std::path::{Path, PathBuf};
+
+use congest::bfs_tree::build_bfs_tree;
+use congest::{FaultPlan, Network};
+use graphkit::alg::shortest_st_path;
+use graphkit::{gen, DiGraph, Dist, EdgeId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpaths_core::fixture::{Fixture, FIXTURE_EXT};
+use rpaths_core::oracle::{self, Divergence, FuzzSolver};
+use rpaths_core::resilient::{self, Recovery, RecoveryPolicy};
+use rpaths_core::{Instance, Params, Query};
+
+/// Sweep configuration (every knob the CLI exposes).
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; the whole sweep is a pure function of it.
+    pub seed: u64,
+    /// Number of cases to plan.
+    pub cases: usize,
+    /// Largest graph any case may use.
+    pub max_n: usize,
+    /// Engine thread counts to cross-check (each case picks two).
+    pub threads_pool: Vec<usize>,
+    /// Enable the deliberate solver defect
+    /// ([`rpaths_core::testhooks::set_flip_unweighted_merge`]) for this
+    /// sweep, to validate the catch → minimize → fixture pipeline.
+    pub inject_tiebreak: bool,
+    /// Minimize divergent cases before writing fixtures.
+    pub minimize: bool,
+    /// Where divergence fixtures are written.
+    pub out_dir: PathBuf,
+}
+
+impl FuzzConfig {
+    /// The full-scale profile: `n` up to 10⁵, threads {1, 2, 8}.
+    pub fn full(seed: u64, cases: usize) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            cases,
+            max_n: 100_000,
+            threads_pool: vec![1, 2, 8],
+            inject_tiebreak: false,
+            minimize: true,
+            out_dir: PathBuf::from("tests/regressions"),
+        }
+    }
+
+    /// The CI smoke profile: seconds-scale, `n ≤ 4096`, threads {1, 2}.
+    pub fn smoke(seed: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            cases: 40,
+            max_n: 4096,
+            threads_pool: vec![1, 2],
+            inject_tiebreak: false,
+            minimize: true,
+            out_dir: PathBuf::from("tests/regressions"),
+        }
+    }
+}
+
+/// The topology families the planner samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// `gen::planted_path_digraph`: random with a planted shortest path.
+    Planted,
+    /// `gen::parallel_lane`: path + stretched switch lane.
+    Lane,
+    /// `gen::grid_road`: bidirectional road grid with diagonal chords.
+    GridRoad,
+    /// `gen::octopus_pods`: sparse-spine memory pods.
+    Octopus,
+    /// `gen::layered_dag`: uniform-length layered routes.
+    LayeredDag,
+    /// `gen::metro_ring`: the 2-edge-connected carrier ring.
+    MetroRing,
+    /// `gen::power_law_digraph`: preferential attachment.
+    PowerLaw,
+    /// `gen::random_weighted_digraph`: weighted unstructured.
+    WeightedRandom,
+}
+
+impl Family {
+    /// Stable name for logs and fixture provenance.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Planted => "planted",
+            Family::Lane => "lane",
+            Family::GridRoad => "grid-road",
+            Family::Octopus => "octopus",
+            Family::LayeredDag => "layered-dag",
+            Family::MetroRing => "metro-ring",
+            Family::PowerLaw => "power-law",
+            Family::WeightedRandom => "weighted-random",
+        }
+    }
+
+    /// Generates a graph of roughly `n_hint` nodes, plus the family's
+    /// natural demand endpoints when it has them.
+    pub fn generate(self, n_hint: usize, rng: &mut StdRng) -> (DiGraph, Option<(NodeId, NodeId)>) {
+        let n = n_hint.max(8);
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        match self {
+            Family::Planted => {
+                let h = rng.gen_range(3..=(n / 3).max(4));
+                let extra = rng.gen_range(n..=3 * n);
+                let (g, s, t) = gen::planted_path_digraph(n, h, extra, seed);
+                (g, Some((s, t)))
+            }
+            Family::Lane => {
+                let stretch = rng.gen_range(1..=3);
+                let switch = rng.gen_range(1..=4);
+                let h = (n / (1 + stretch)).max(4);
+                let (g, s, t) = gen::parallel_lane(h, switch, stretch);
+                (g, Some((s, t)))
+            }
+            Family::GridRoad => {
+                let rows = ((n as f64).sqrt() as usize).max(2);
+                let cols = (n / rows).max(2);
+                let chords = rng.gen_range(0..=(rows * cols) / 8);
+                let (g, s, t) = gen::grid_road(rows, cols, chords, seed);
+                (g, Some((s, t)))
+            }
+            Family::Octopus => {
+                let pods = ((n as f64 / 4.0).sqrt() as usize).max(2);
+                let pod_size = (n / pods).max(1);
+                let extra = rng.gen_range(0..=pods / 2 + 1);
+                (gen::octopus_pods(pods, pod_size, extra, seed), None)
+            }
+            Family::LayeredDag => {
+                let layers = rng.gen_range(3..=8);
+                let width = (n / (layers + 2)).max(2);
+                let extra = rng.gen_range(n..=2 * n);
+                let (g, s, t) = gen::layered_dag(layers, width, extra, seed);
+                (g, Some((s, t)))
+            }
+            Family::MetroRing => {
+                let pops = n.max(4);
+                (gen::metro_ring(pops), Some((0, pops / 2)))
+            }
+            Family::PowerLaw => (gen::power_law_digraph(n, seed), None),
+            Family::WeightedRandom => {
+                let extra = rng.gen_range(2 * n..=4 * n);
+                let w = rng.gen_range(2..=12);
+                (gen::random_weighted_digraph(n, extra, w, seed), None)
+            }
+        }
+    }
+}
+
+/// The cost tier a case runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseKind {
+    /// Full distributed-solver differential vs the oracle (small `n`).
+    InstanceDiff,
+    /// `SolverSession::solve_batch` differential with warm/cold and
+    /// cross-thread bit-identity (medium `n`).
+    BatchDiff,
+    /// Fault injection through `resilient::solve_with_recovery`, with
+    /// an independently reconstructed survivor-graph oracle.
+    FaultTier,
+    /// Near-linear checks at `n` up to the configured maximum.
+    ScaleTier,
+}
+
+impl CaseKind {
+    fn name(self) -> &'static str {
+        match self {
+            CaseKind::InstanceDiff => "instance",
+            CaseKind::BatchDiff => "batch",
+            CaseKind::FaultTier => "fault",
+            CaseKind::ScaleTier => "scale",
+        }
+    }
+}
+
+/// One planned case (a pure function of `(config.seed, index)`).
+#[derive(Clone, Debug)]
+pub struct CasePlan {
+    /// Position in the sweep.
+    pub index: usize,
+    /// Cost tier.
+    pub kind: CaseKind,
+    /// Topology family.
+    pub family: Family,
+    /// Target node count.
+    pub n: usize,
+    /// Solver under test (instance/fault tiers).
+    pub solver: FuzzSolver,
+    /// The two engine thread counts to cross-check.
+    pub threads: (usize, usize),
+    /// Per-case RNG seed.
+    pub case_seed: u64,
+}
+
+impl CasePlan {
+    /// One-line description for logs and fixture provenance.
+    pub fn describe(&self) -> String {
+        format!(
+            "case {:>3} [{}] family={} n={} solver={} threads={}/{}",
+            self.index,
+            self.kind.name(),
+            self.family.name(),
+            self.n,
+            self.solver,
+            self.threads.0,
+            self.threads.1,
+        )
+    }
+}
+
+/// What happened to one case.
+#[derive(Clone, Debug)]
+pub enum CaseOutcome {
+    /// All checks held.
+    Pass,
+    /// The case could not be posed (e.g. too-short demand path); the
+    /// reason is logged, the case is not counted as coverage.
+    Skip(String),
+    /// A check failed; when the case can be replayed as an
+    /// instance-mode fixture, the minimized repro rides along.
+    Diverged {
+        /// What disagreed.
+        divergence: Divergence,
+        /// The minimized repro, ready to write to the corpus.
+        fixture: Option<Box<Fixture>>,
+    },
+}
+
+/// Aggregate result of a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Cases that ran and passed.
+    pub passed: usize,
+    /// Cases skipped (unposeable demand).
+    pub skipped: usize,
+    /// Cases that diverged.
+    pub divergences: usize,
+    /// Fixtures written for divergent cases.
+    pub fixtures: Vec<PathBuf>,
+    /// The largest `n` any executed case actually used.
+    pub max_n_exercised: usize,
+}
+
+impl SweepReport {
+    /// `true` when no case diverged.
+    pub fn clean(&self) -> bool {
+        self.divergences == 0
+    }
+}
+
+/// Uniform draw from `[0, 1)` (the vendored `rand` has no float
+/// `gen_range`).
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0..(1u64 << 53)) as f64 / (1u64 << 53) as f64
+}
+
+fn case_rng(master: u64, index: usize) -> StdRng {
+    // SplitMix-style decorrelation so case i+1 is not a shifted replay
+    // of case i.
+    StdRng::seed_from_u64(
+        master
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((index as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+    )
+}
+
+/// Plans case `index` of a sweep (deterministic).
+pub fn plan_case(cfg: &FuzzConfig, index: usize) -> CasePlan {
+    let mut rng = case_rng(cfg.seed, index);
+    // Deterministic tier rotation: half the sweep is the full solver
+    // differential, and every tenth case climbs the size ladder.
+    let kind = match index % 10 {
+        0..=4 => CaseKind::InstanceDiff,
+        5 | 6 => CaseKind::BatchDiff,
+        7 => CaseKind::ScaleTier,
+        8 => CaseKind::FaultTier,
+        _ => CaseKind::InstanceDiff,
+    };
+    let family = match kind {
+        CaseKind::FaultTier => {
+            // Redundant topologies, so single failures degrade rather
+            // than amputate.
+            [Family::MetroRing, Family::GridRoad, Family::Octopus][rng.gen_range(0..3)]
+        }
+        _ => [
+            Family::Planted,
+            Family::Lane,
+            Family::GridRoad,
+            Family::Octopus,
+            Family::LayeredDag,
+            Family::MetroRing,
+            Family::PowerLaw,
+            Family::WeightedRandom,
+        ][rng.gen_range(0..8)],
+    };
+    let n = match kind {
+        CaseKind::InstanceDiff => rng.gen_range(16..=220.min(cfg.max_n)),
+        CaseKind::BatchDiff => {
+            // On-path avoids cost a full solver run each; scale the
+            // graph with the profile so smoke stays seconds-scale, and
+            // halve it again for the weighted solver (it sweeps
+            // O(log(nW)) distance scales per run).
+            let mut cap = 1024.min(cfg.max_n / 16).max(64);
+            if family == Family::WeightedRandom {
+                cap = (cap / 2).max(64);
+            }
+            rng.gen_range(64.min(cap)..=cap)
+        }
+        CaseKind::FaultTier => rng.gen_range(16..=160.min(cfg.max_n)),
+        CaseKind::ScaleTier => {
+            // Every third scale case pins the configured maximum so the
+            // sweep provably reaches it; the rest ramp log-uniformly.
+            if (index / 10).is_multiple_of(3) {
+                cfg.max_n
+            } else {
+                let lo = (cfg.max_n / 64).max(256) as f64;
+                let hi = cfg.max_n as f64;
+                (lo * (hi / lo).powf(unit_f64(&mut rng))) as usize
+            }
+        }
+    };
+    let solver = {
+        let pool: &[FuzzSolver] = if family == Family::WeightedRandom {
+            &[FuzzSolver::Weighted, FuzzSolver::Reachability]
+        } else if n > 300 {
+            // The baselines are h·T_BFS; keep them off medium graphs.
+            &[
+                FuzzSolver::Unweighted,
+                FuzzSolver::Weighted,
+                FuzzSolver::Sisp,
+                FuzzSolver::Reachability,
+            ]
+        } else {
+            &FuzzSolver::ALL
+        };
+        pool[rng.gen_range(0..pool.len())]
+    };
+    let pool = &cfg.threads_pool;
+    let t0 = pool[rng.gen_range(0..pool.len())];
+    let mut t1 = pool[rng.gen_range(0..pool.len())];
+    if t0 == t1 && pool.len() > 1 {
+        // Always cross-check two *different* thread counts when the
+        // pool allows it.
+        t1 = pool[(pool.iter().position(|&p| p == t0).unwrap() + 1) % pool.len()];
+    }
+    CasePlan {
+        index,
+        kind,
+        family,
+        n,
+        solver,
+        threads: (t0.min(t1), t0.max(t1)),
+        case_seed: rng.gen_range(0..u64::MAX / 2),
+    }
+}
+
+fn params_for(n: usize, rng: &mut StdRng) -> Params {
+    // ζ sweeps the short/long regime split; landmark_prob stays 1.0 so
+    // the w.h.p. guarantees are certainties and every divergence is a
+    // bug, not sampling bad luck.
+    let zeta_cap = ((n as f64).powf(2.0 / 3.0).ceil() as usize).max(3);
+    let mut p = Params::with_zeta(n, rng.gen_range(2..=zeta_cap));
+    p.landmark_prob = 1.0;
+    p.seed = rng.gen_range(0..u64::MAX / 2);
+    p
+}
+
+/// Picks demand endpoints for a generated graph, preferring the
+/// family's natural pair.
+fn endpoints(
+    graph: &DiGraph,
+    natural: Option<(NodeId, NodeId)>,
+    rng: &mut StdRng,
+) -> Option<(NodeId, NodeId)> {
+    natural.or_else(|| gen::random_reachable_pair(graph, rng.gen_range(0..u64::MAX / 2)))
+}
+
+/// Undirected connectivity in `O(n + m)` (the diameter oracle is
+/// `O(n·m)` and unusable at scale-tier sizes).
+pub fn undirected_connected(graph: &DiGraph) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (_, e) in graph.edges() {
+        adj[e.from].push(e.to);
+        adj[e.to].push(e.from);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                count += 1;
+                stack.push(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// Undirected hop distances from `root` in `O(n + m)` — the centralized
+/// mirror of the engine's BFS-tree depths.
+pub fn undirected_bfs_depths(graph: &DiGraph, root: NodeId) -> Vec<Option<u64>> {
+    let n = graph.node_count();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (_, e) in graph.edges() {
+        adj[e.from].push(e.to);
+        adj[e.to].push(e.from);
+    }
+    let mut depth = vec![None; n];
+    depth[root] = Some(0);
+    let mut frontier = std::collections::VecDeque::from([root]);
+    while let Some(v) = frontier.pop_front() {
+        let d = depth[v].unwrap();
+        for &w in &adj[v] {
+            if depth[w].is_none() {
+                depth[w] = Some(d + 1);
+                frontier.push_back(w);
+            }
+        }
+    }
+    depth
+}
+
+fn diverge(
+    check: impl Into<String>,
+    got: impl Into<String>,
+    want: impl Into<String>,
+) -> Divergence {
+    Divergence {
+        check: check.into(),
+        index: None,
+        got: got.into(),
+        want: want.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Case execution
+// ---------------------------------------------------------------------
+
+struct CaseRun {
+    outcome: Result<(), Divergence>,
+    skip: Option<String>,
+    /// Repro parts for the minimizer, when the case can be replayed as
+    /// an instance-mode fixture.
+    repro: Option<(DiGraph, NodeId, NodeId, Params)>,
+}
+
+impl CaseRun {
+    fn pass() -> CaseRun {
+        CaseRun {
+            outcome: Ok(()),
+            skip: None,
+            repro: None,
+        }
+    }
+
+    fn skip(reason: impl Into<String>) -> CaseRun {
+        CaseRun {
+            outcome: Ok(()),
+            skip: Some(reason.into()),
+            repro: None,
+        }
+    }
+}
+
+fn run_instance_diff(plan: &CasePlan) -> CaseRun {
+    let mut rng = StdRng::seed_from_u64(plan.case_seed);
+    let (graph, natural) = plan.family.generate(plan.n, &mut rng);
+    let Some((s, t)) = endpoints(&graph, natural, &mut rng) else {
+        return CaseRun::skip("no reachable demand pair");
+    };
+    if plan.solver.needs_unweighted() && !graph.is_unweighted() {
+        return CaseRun::skip("weighted graph, unweighted-only solver");
+    }
+    let params = params_for(graph.node_count(), &mut rng);
+    let inst = match Instance::from_endpoints(&graph, s, t) {
+        Ok(i) => i,
+        Err(e) => return CaseRun::skip(format!("instance: {e}")),
+    };
+    if inst.hops() < 2 {
+        return CaseRun::skip("demand path under 2 hops");
+    }
+    for threads in [plan.threads.0, plan.threads.1] {
+        if let Err(d) = oracle::check_instance(&inst, &params, plan.solver, threads) {
+            drop(inst);
+            return CaseRun {
+                outcome: Err(d),
+                skip: None,
+                repro: Some((graph, s, t, params)),
+            };
+        }
+    }
+    CaseRun::pass()
+}
+
+fn run_batch_diff(plan: &CasePlan) -> CaseRun {
+    let mut rng = StdRng::seed_from_u64(plan.case_seed);
+    let (graph, natural) = plan.family.generate(plan.n, &mut rng);
+    let Some((s, t)) = endpoints(&graph, natural, &mut rng) else {
+        return CaseRun::skip("no reachable demand pair");
+    };
+    let Some(path) = shortest_st_path(&graph, s, t) else {
+        return CaseRun::skip("no demand path");
+    };
+    let params = params_for(graph.node_count(), &mut rng);
+    // Mixed batch: intact, on-path avoids (which force a solver run
+    // when the graph is small enough for the diameter oracle), and
+    // off-path avoids (answered from the path alone at any size).
+    let mut queries = vec![Query::intact(s, t)];
+    // Each on-path avoid is a full solver run (times two thread counts
+    // plus the warm/cold session); ramp the budget down with n.
+    let on_path_budget = match graph.node_count() {
+        0..=256 => 3,
+        257..=640 => 2,
+        641..=1024 => 1,
+        _ => 0,
+    };
+    for _ in 0..on_path_budget.min(path.hops()) {
+        let i = rng.gen_range(0..path.hops());
+        queries.push(Query::avoiding(s, t, path.edge(i)));
+    }
+    let m = graph.edge_count();
+    for _ in 0..6 {
+        let e = rng.gen_range(0..m);
+        if !path.contains_edge(e) {
+            queries.push(Query::avoiding(s, t, e));
+        }
+    }
+    let a0 = match oracle::check_batch(&graph, &params, &queries, plan.threads.0) {
+        Ok(a) => a,
+        Err(d) => {
+            return CaseRun {
+                outcome: Err(d),
+                skip: None,
+                repro: None,
+            }
+        }
+    };
+    let a1 = match oracle::check_batch(&graph, &params, &queries, plan.threads.1) {
+        Ok(a) => a,
+        Err(d) => {
+            return CaseRun {
+                outcome: Err(d),
+                skip: None,
+                repro: None,
+            }
+        }
+    };
+    if a0 != a1 {
+        return CaseRun {
+            outcome: Err(diverge(
+                format!(
+                    "batch bit-identity {} vs {} threads",
+                    plan.threads.0, plan.threads.1
+                ),
+                format!("{a1:?}"),
+                format!("{a0:?}"),
+            )),
+            skip: None,
+            repro: None,
+        };
+    }
+    // Warm vs cold: a second identical batch in one session must come
+    // back bit-identical from the cache.
+    let mut session = rpaths_core::SolverSession::new(&graph, params.clone());
+    session.set_threads(plan.threads.0);
+    let cold = session.solve_batch(&queries);
+    let warm = session.solve_batch(&queries);
+    match (cold, warm) {
+        (Ok(c), Ok(w)) if c == w => CaseRun::pass(),
+        (Ok(c), Ok(w)) => CaseRun {
+            outcome: Err(diverge(
+                "warm batch differs from cold batch",
+                format!("{w:?}"),
+                format!("{c:?}"),
+            )),
+            skip: None,
+            repro: None,
+        },
+        (e, _) => CaseRun {
+            outcome: Err(diverge("session batch failed", format!("{e:?}"), "answers")),
+            skip: None,
+            repro: None,
+        },
+    }
+}
+
+fn run_fault_tier(plan: &CasePlan) -> CaseRun {
+    let mut rng = StdRng::seed_from_u64(plan.case_seed);
+    let (graph, natural) = plan.family.generate(plan.n, &mut rng);
+    if !graph.is_unweighted() {
+        return CaseRun::skip("fault tier drives the unweighted solver");
+    }
+    let Some((s, t)) = endpoints(&graph, natural, &mut rng) else {
+        return CaseRun::skip("no reachable demand pair");
+    };
+    let params = params_for(graph.node_count(), &mut rng);
+    let policy = RecoveryPolicy::default();
+    let plan_seed = rng.gen_range(0..u64::MAX / 2);
+    let transient = rng.gen_bool(0.5);
+    let fault_plan = if transient {
+        FaultPlan::new(plan_seed)
+            .drop_messages(unit_f64(&mut rng) * 0.04)
+            .delay_messages(unit_f64(&mut rng) * 0.06, rng.gen_range(1..=2))
+    } else {
+        let mut p = FaultPlan::new(plan_seed);
+        for _ in 0..rng.gen_range(1..=2) {
+            p = p.fail_link(rng.gen_range(0..graph.edge_count()), 0, None);
+        }
+        if graph.node_count() > 4 && rng.gen_bool(0.4) {
+            let mut v = rng.gen_range(0..graph.node_count());
+            while v == s || v == t {
+                v = rng.gen_range(0..graph.node_count());
+            }
+            p = p.crash_node(v, 0, None);
+        }
+        p
+    };
+    let recovery = resilient::solve_with_recovery::<resilient::Unweighted>(
+        &graph,
+        s,
+        t,
+        &fault_plan,
+        &params,
+        &policy,
+    );
+    match recovery {
+        Ok(Recovery::Full { output, .. }) => {
+            if !transient {
+                return CaseRun {
+                    outcome: Err(diverge(
+                        "permanent faults reported Full recovery",
+                        "Full",
+                        "Degraded",
+                    )),
+                    skip: None,
+                    repro: None,
+                };
+            }
+            // Transient faults leave the steady graph intact: answers
+            // must match the healthy oracle exactly.
+            let inst = match Instance::from_endpoints(&graph, s, t) {
+                Ok(i) => i,
+                Err(e) => return CaseRun::skip(format!("instance: {e}")),
+            };
+            let want = oracle::oracle_replacements(&inst);
+            if output != want {
+                return CaseRun {
+                    outcome: Err(diverge(
+                        "recovered transient answers vs oracle",
+                        format!("{output:?}"),
+                        format!("{want:?}"),
+                    )),
+                    skip: None,
+                    repro: None,
+                };
+            }
+            CaseRun::pass()
+        }
+        Ok(Recovery::Degraded(d)) => match check_degraded(&graph, s, t, &fault_plan, &d) {
+            Ok(()) => CaseRun::pass(),
+            Err(div) => CaseRun {
+                outcome: Err(div),
+                skip: None,
+                repro: None,
+            },
+        },
+        Err(resilient::RecoveryError::Exhausted { .. }) if transient => {
+            // Heavy message loss can legitimately outlast the retry
+            // budget; that is a campaign finding, not a correctness bug.
+            CaseRun::skip("transient faults exhausted the retry budget")
+        }
+        Err(e) => CaseRun {
+            outcome: Err(diverge("recovery failed", e.to_string(), "an answer")),
+            skip: None,
+            repro: None,
+        },
+    }
+}
+
+/// Independently rebuilds the survivor graph (crashed nodes and downed
+/// links removed, source component, ascending remap — the documented
+/// re-posing rule of `rpaths_core::resilient`) and holds the degraded
+/// answer to the replica's oracle.
+fn check_degraded(
+    graph: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    plan: &FaultPlan,
+    d: &resilient::Degraded<Vec<Dist>>,
+) -> Result<(), Divergence> {
+    let horizon = plan.horizon();
+    let downed: Vec<EdgeId> = plan.links_down_at(horizon);
+    let crashed: Vec<NodeId> = plan.nodes_down_at(horizon);
+    let n = graph.node_count();
+    let mut dead = vec![false; n];
+    for &v in &crashed {
+        dead[v] = true;
+    }
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (id, e) in graph.edges() {
+        if downed.binary_search(&id).is_ok() || dead[e.from] || dead[e.to] {
+            continue;
+        }
+        adj[e.from].push(e.to);
+        adj[e.to].push(e.from);
+    }
+    let mut in_comp = vec![false; n];
+    in_comp[s] = true;
+    let mut stack = vec![s];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !in_comp[w] {
+                in_comp[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    let expect_unreachable: Vec<NodeId> = (0..n).filter(|&v| !in_comp[v]).collect();
+    if d.unreachable != expect_unreachable {
+        return Err(diverge(
+            "degraded unreachable set vs local component",
+            format!("{:?}", d.unreachable),
+            format!("{expect_unreachable:?}"),
+        ));
+    }
+    if !in_comp[t] {
+        return match &d.answered {
+            None => Ok(()),
+            Some(a) => Err(diverge(
+                "answered a severed target",
+                format!("{a:?}"),
+                "no answer",
+            )),
+        };
+    }
+    // Replica of the re-posed instance: same ascending remap, same edge
+    // order, so the extracted path — and with it the oracle — is the
+    // one the recovery wrapper solved against.
+    let component: Vec<NodeId> = (0..n).filter(|&v| in_comp[v]).collect();
+    let mut new_id = vec![usize::MAX; n];
+    for (i, &v) in component.iter().enumerate() {
+        new_id[v] = i;
+    }
+    let mut b = graphkit::GraphBuilder::new(component.len());
+    for (id, e) in graph.edges() {
+        if downed.binary_search(&id).is_ok() || !in_comp[e.from] || !in_comp[e.to] {
+            continue;
+        }
+        b.add_edge(new_id[e.from], new_id[e.to], e.weight);
+    }
+    let sub = b.build();
+    match Instance::from_endpoints(&sub, new_id[s], new_id[t]) {
+        Ok(inst) => {
+            let want = oracle::oracle_replacements(&inst);
+            match &d.answered {
+                Some(got) if *got == want => Ok(()),
+                Some(got) => Err(diverge(
+                    "degraded answers vs survivor-graph oracle",
+                    format!("{got:?}"),
+                    format!("{want:?}"),
+                )),
+                None => Err(diverge(
+                    "no answer despite a surviving route",
+                    "None",
+                    format!("{want:?}"),
+                )),
+            }
+        }
+        Err(_) => match &d.answered {
+            None => Ok(()),
+            Some(a) => Err(diverge(
+                "answered without a surviving directed route",
+                format!("{a:?}"),
+                "no answer",
+            )),
+        },
+    }
+}
+
+fn run_scale_tier(plan: &CasePlan) -> CaseRun {
+    let mut rng = StdRng::seed_from_u64(plan.case_seed);
+    let (graph, natural) = plan.family.generate(plan.n, &mut rng);
+    // Generator invariant: every family contract promises an
+    // undirected-connected graph.
+    if !undirected_connected(&graph) {
+        return CaseRun {
+            outcome: Err(diverge(
+                format!("{} generator connectivity", plan.family.name()),
+                "disconnected graph",
+                "connected graph",
+            )),
+            skip: None,
+            repro: None,
+        };
+    }
+    let Some((s, t)) = endpoints(&graph, natural, &mut rng) else {
+        return CaseRun::skip("no reachable demand pair");
+    };
+    let Some(path) = shortest_st_path(&graph, s, t) else {
+        return CaseRun::skip("no demand path");
+    };
+    let params = params_for(graph.node_count(), &mut rng);
+    // Session answers vs Dijkstra at full scale: intact and off-path
+    // avoids never touch the engine or the O(n·m) diameter oracle.
+    let mut queries = vec![Query::intact(s, t)];
+    let m = graph.edge_count();
+    for _ in 0..5 {
+        let e = rng.gen_range(0..m);
+        if !path.contains_edge(e) {
+            queries.push(Query::avoiding(s, t, e));
+        }
+    }
+    if let Err(d) = oracle::check_batch(&graph, &params, &queries, plan.threads.0) {
+        return CaseRun {
+            outcome: Err(d),
+            skip: None,
+            repro: None,
+        };
+    }
+    // Snapshot round-trip: the store must reproduce the graph bit for
+    // bit at any size.
+    let snap = rpaths_store::Snapshot::new(graph.clone());
+    let bytes = snap.encode();
+    match rpaths_store::Snapshot::decode(&bytes) {
+        Ok(loaded) => {
+            let back = loaded.into_snapshot();
+            if back.graph.fingerprint() != graph.fingerprint() {
+                return CaseRun {
+                    outcome: Err(diverge(
+                        "snapshot round-trip fingerprint",
+                        format!("{:#x}", back.graph.fingerprint()),
+                        format!("{:#x}", graph.fingerprint()),
+                    )),
+                    skip: None,
+                    repro: None,
+                };
+            }
+        }
+        Err(e) => {
+            return CaseRun {
+                outcome: Err(diverge("snapshot decode", e.to_string(), "a snapshot")),
+                skip: None,
+                repro: None,
+            }
+        }
+    }
+    // Distributed BFS tree vs centralized BFS, where the engine is
+    // still affordable on one host.
+    if graph.node_count() <= 4096 {
+        let mut net = Network::new(&graph);
+        net.set_threads(plan.threads.1.max(1));
+        match build_bfs_tree(&mut net, s) {
+            Ok((tree, _)) => {
+                let want = undirected_bfs_depths(&graph, s);
+                for v in 0..graph.node_count() {
+                    if Some(tree.depth[v]) != want[v] {
+                        return CaseRun {
+                            outcome: Err(diverge(
+                                "distributed BFS depth vs centralized BFS",
+                                format!("node {v}: {}", tree.depth[v]),
+                                format!("{:?}", want[v]),
+                            )),
+                            skip: None,
+                            repro: None,
+                        };
+                    }
+                }
+            }
+            Err(e) => {
+                return CaseRun {
+                    outcome: Err(diverge(
+                        "distributed BFS on a connected graph",
+                        format!("{e:?}"),
+                        "a spanning tree",
+                    )),
+                    skip: None,
+                    repro: None,
+                }
+            }
+        }
+    }
+    CaseRun::pass()
+}
+
+/// Runs one planned case; `minimize` controls whether divergent repros
+/// are ddmin-shrunk before being minted as fixtures.
+pub fn run_case(plan: &CasePlan, minimize: bool) -> (CaseOutcome, usize) {
+    let run = match plan.kind {
+        CaseKind::InstanceDiff => run_instance_diff(plan),
+        CaseKind::BatchDiff => run_batch_diff(plan),
+        CaseKind::FaultTier => run_fault_tier(plan),
+        CaseKind::ScaleTier => run_scale_tier(plan),
+    };
+    let n = plan.n;
+    match (run.outcome, run.skip) {
+        (Ok(()), None) => (CaseOutcome::Pass, n),
+        (Ok(()), Some(reason)) => (CaseOutcome::Skip(reason), 0),
+        (Err(divergence), _) => {
+            let fixture = run.repro.map(|(graph, s, t, params)| {
+                Box::new(build_fixture(
+                    plan,
+                    graph,
+                    s,
+                    t,
+                    params,
+                    &divergence,
+                    minimize,
+                ))
+            });
+            (
+                CaseOutcome::Diverged {
+                    divergence,
+                    fixture,
+                },
+                n,
+            )
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_fixture(
+    plan: &CasePlan,
+    graph: DiGraph,
+    s: NodeId,
+    t: NodeId,
+    params: Params,
+    divergence: &Divergence,
+    minimize: bool,
+) -> Fixture {
+    let before = graph.node_count();
+    let (graph, s, t) = if minimize {
+        minimize::minimize_instance(graph, s, t, &params, plan.solver, plan.threads.0)
+    } else {
+        (graph, s, t)
+    };
+    let origin = format!(
+        "minimized from {} ({} → {} nodes); {}",
+        plan.describe(),
+        before,
+        graph.node_count(),
+        divergence,
+    );
+    Fixture::instance_mode(
+        format!("{}-s{}-c{}", plan.solver.name(), plan.case_seed, plan.index),
+        origin,
+        graph,
+        s,
+        t,
+        params,
+        plan.solver,
+        vec![plan.threads.0, plan.threads.1],
+    )
+}
+
+/// Runs the whole sweep, writing fixtures for divergent cases and
+/// logging one line per case through `log`.
+pub fn run_sweep(cfg: &FuzzConfig, log: &mut dyn FnMut(&str)) -> SweepReport {
+    if cfg.inject_tiebreak {
+        rpaths_core::testhooks::set_flip_unweighted_merge(true);
+    }
+    let mut report = SweepReport::default();
+    for index in 0..cfg.cases {
+        let plan = plan_case(cfg, index);
+        let (outcome, n_used) = run_case(&plan, cfg.minimize);
+        report.max_n_exercised = report.max_n_exercised.max(n_used);
+        match outcome {
+            CaseOutcome::Pass => {
+                report.passed += 1;
+                log(&format!("{}: ok", plan.describe()));
+            }
+            CaseOutcome::Skip(reason) => {
+                report.skipped += 1;
+                log(&format!("{}: skip ({reason})", plan.describe()));
+            }
+            CaseOutcome::Diverged {
+                divergence,
+                fixture,
+            } => {
+                report.divergences += 1;
+                log(&format!("{}: DIVERGED: {divergence}", plan.describe()));
+                if let Some(fix) = fixture {
+                    let path = cfg.out_dir.join(format!("{}.{FIXTURE_EXT}", fix.name));
+                    if std::fs::create_dir_all(&cfg.out_dir).is_ok() && fix.write(&path).is_ok() {
+                        log(&format!(
+                            "  minimized to {} nodes; fixture: {}",
+                            fix.graph.node_count(),
+                            path.display()
+                        ));
+                        report.fixtures.push(path);
+                    } else {
+                        log("  FAILED to write fixture");
+                    }
+                }
+            }
+        }
+    }
+    if cfg.inject_tiebreak {
+        rpaths_core::testhooks::set_flip_unweighted_merge(false);
+    }
+    report
+}
+
+/// Writes the hand-curated seed corpus: one minimal green fixture per
+/// solver surface, proving the corpus replay path end to end. Returns
+/// the written paths.
+///
+/// # Errors
+///
+/// [`rpaths_store::StoreError`] when a fixture cannot be written.
+pub fn write_seed_corpus(out_dir: &Path) -> Result<Vec<PathBuf>, rpaths_store::StoreError> {
+    std::fs::create_dir_all(out_dir).map_err(|e| rpaths_store::StoreError::Io {
+        kind: e.kind(),
+        message: e.to_string(),
+    })?;
+    let mut written = Vec::new();
+    let mut put = |fix: Fixture| -> Result<(), rpaths_store::StoreError> {
+        let path = out_dir.join(format!("{}.{FIXTURE_EXT}", fix.name));
+        fix.write(&path)?;
+        written.push(path);
+        Ok(())
+    };
+    let origin = "seed corpus (hand-written minimal instance)";
+    let exact_params = |n: usize, zeta: usize| {
+        let mut p = Params::with_zeta(n, zeta);
+        p.landmark_prob = 1.0;
+        p
+    };
+
+    // unweighted: a lane whose detours straddle the ζ regime split.
+    let (g, s, t) = gen::parallel_lane(8, 2, 2);
+    let p = exact_params(g.node_count(), 4);
+    put(Fixture::instance_mode(
+        "seed-unweighted-lane",
+        origin,
+        g,
+        s,
+        t,
+        p,
+        FuzzSolver::Unweighted,
+        vec![1, 2],
+    ))?;
+
+    // weighted: small weighted random graph under the (1+ε) envelope.
+    let g = gen::random_weighted_digraph(20, 60, 7, 11);
+    let (s, t) = gen::random_reachable_pair(&g, 3).expect("seeded pair");
+    let p = exact_params(20, 5);
+    put(Fixture::instance_mode(
+        "seed-weighted-random",
+        origin,
+        g,
+        s,
+        t,
+        p,
+        FuzzSolver::Weighted,
+        vec![1, 2],
+    ))?;
+
+    // sisp: the Theorem 2 family, whose 2-SiSP value is d + 1.
+    let t2 = gen::theorem2_family(5, None);
+    let p = exact_params(t2.graph.node_count(), t2.graph.node_count());
+    put(Fixture::instance_mode(
+        "seed-sisp-theorem2",
+        origin,
+        t2.graph,
+        t2.s,
+        t2.t,
+        p,
+        FuzzSolver::Sisp,
+        vec![1, 2],
+    ))?;
+
+    // reachability: a planted path with unprotected tail edges.
+    let (g, s, t) = gen::planted_path_digraph(24, 7, 30, 5);
+    let p = exact_params(24, 4);
+    put(Fixture::instance_mode(
+        "seed-reachability-planted",
+        origin,
+        g,
+        s,
+        t,
+        p,
+        FuzzSolver::Reachability,
+        vec![1, 2],
+    ))?;
+
+    // naive baseline: the new road grid.
+    let (g, s, t) = gen::grid_road(4, 5, 3, 7);
+    let p = exact_params(20, 4);
+    put(Fixture::instance_mode(
+        "seed-naive-grid-road",
+        origin,
+        g,
+        s,
+        t,
+        p,
+        FuzzSolver::Naive,
+        vec![1, 2],
+    ))?;
+
+    // mr24 baseline: the new octopus pods.
+    let g = gen::octopus_pods(4, 5, 1, 9);
+    let (s, t) = gen::random_reachable_pair(&g, 1).expect("seeded pair");
+    let p = exact_params(20, 4);
+    put(Fixture::instance_mode(
+        "seed-mr24-octopus",
+        origin,
+        g,
+        s,
+        t,
+        p,
+        FuzzSolver::Mr24,
+        vec![1, 2],
+    ))?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_is_deterministic() {
+        let cfg = FuzzConfig::full(1, 200);
+        for i in 0..50 {
+            let a = plan_case(&cfg, i);
+            let b = plan_case(&cfg, i);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    // Triage harness: replay exactly one planned case from a sweep, by
+    // index, without running its neighbors. See FUZZING.md ("Triaging a
+    // divergence"). Usage:
+    //
+    //   RPATHS_FUZZ_CASE=106 cargo test --release -p rpaths-fuzz \
+    //       replay_single_case -- --ignored --nocapture
+    //
+    // RPATHS_FUZZ_SEED overrides the master seed (default 1).
+    #[test]
+    #[ignore = "manual triage harness; select a case with RPATHS_FUZZ_CASE"]
+    fn replay_single_case() {
+        let index: usize = std::env::var("RPATHS_FUZZ_CASE")
+            .expect("set RPATHS_FUZZ_CASE to the case index to replay")
+            .parse()
+            .unwrap();
+        let seed: u64 = std::env::var("RPATHS_FUZZ_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let cfg = FuzzConfig::full(seed, index + 1);
+        let plan = plan_case(&cfg, index);
+        println!("{}", plan.describe());
+        let (outcome, n_used) = run_case(&plan, false);
+        println!("n exercised = {n_used}");
+        println!("{outcome:?}");
+    }
+}

@@ -85,12 +85,18 @@ fn dijkstra_with_parents(
 }
 
 /// Extracts a shortest `s`-`t` path as a validated [`StPath`], or `None`
-/// when `t` is unreachable from `s`.
+/// when `t` is unreachable from `s` — or when `s = t`: the trivial
+/// zero-length path has no edges and is not representable as an
+/// [`StPath`], so callers with identical endpoints must special-case
+/// it (its length is 0 and it survives every edge failure).
 ///
 /// This is how test instances obtain the input path `P`: the problem
 /// definition requires `P` to be a shortest path, and building it from
 /// Dijkstra parents guarantees that.
 pub fn shortest_st_path(graph: &DiGraph, s: NodeId, t: NodeId) -> Option<StPath> {
+    if s == t {
+        return None;
+    }
     let (dist, parent) = dijkstra_with_parents(graph, s, |_| true);
     dist[t].finite()?;
     let mut edges = Vec::new();

@@ -74,6 +74,115 @@ pub fn grid(rows: usize, cols: usize) -> (DiGraph, NodeId, NodeId) {
     (b.build(), at(0, 0), at(rows - 1, cols - 1))
 }
 
+/// Road-like bidirectional grid with optional diagonal chords; returns
+/// `(graph, s, t)` with `s` the top-left and `t` the bottom-right corner.
+///
+/// Unlike [`grid`] (a one-way DAG), every street runs both ways, so
+/// replacement paths can backtrack — the realistic road-network regime.
+/// `chords` random diagonal shortcuts (each a bidirectional pair between
+/// a cell and its down-right or down-left neighbour) act as freeway
+/// on-ramps that create asymmetric fast routes.
+///
+/// Deterministic for a given `(rows, cols, chords, seed)`. The graph has
+/// `rows·cols` nodes and `2·(rows·(cols-1) + cols·(rows-1)) + 2·chords`
+/// arcs (diagonals may repeat: the graph is a multigraph).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_road(rows: usize, cols: usize, chords: usize, seed: u64) -> (DiGraph, NodeId, NodeId) {
+    assert!(rows >= 1 && cols >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_bidirectional(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_bidirectional(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    if rows >= 2 && cols >= 2 {
+        for _ in 0..chords {
+            let r = rng.gen_range(0..rows - 1);
+            let c = rng.gen_range(0..cols);
+            // Down-right chord, or down-left when at (or rolling) the
+            // right edge.
+            let c2 = if c + 1 < cols && rng.gen_bool(0.5) {
+                c + 1
+            } else if c > 0 {
+                c - 1
+            } else {
+                c + 1
+            };
+            b.add_bidirectional(at(r, c), at(r + 1, c2));
+        }
+    }
+    (b.build(), at(0, 0), at(rows - 1, cols - 1))
+}
+
+/// Octopus-style pod topology: `pods` pods of `pod_size` nodes each,
+/// joined by a *sparse* inter-pod spine (PAPERS.md: "Octopus: Enhancing
+/// CXL Memory Pods via Sparse Topology").
+///
+/// Pod `p` occupies nodes `[p·pod_size, (p+1)·pod_size)`; its first node
+/// is the pod *head* (the switch). Within a pod, the head has a
+/// bidirectional spoke to every member, and members form a bidirectional
+/// ring (when `pod_size ≥ 3`) so a crashed head degrades but does not
+/// disconnect the pod. Heads form a bidirectional ring, plus
+/// `extra_spine` random head-to-head shortcuts drawn from `seed` — the
+/// sparse spine. The result is strongly degree-skewed (heads dwarf
+/// members) with long inter-pod detours, the shape the star/power-law
+/// families miss.
+///
+/// Deterministic for a given `(pods, pod_size, extra_spine, seed)`.
+///
+/// # Panics
+///
+/// Panics if `pods == 0`, `pod_size == 0`, or the graph would be a
+/// single node (`pods · pod_size < 2`).
+pub fn octopus_pods(pods: usize, pod_size: usize, extra_spine: usize, seed: u64) -> DiGraph {
+    assert!(pods >= 1 && pod_size >= 1);
+    let n = pods * pod_size;
+    assert!(n >= 2, "octopus_pods needs at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let head = |p: usize| p * pod_size;
+    for p in 0..pods {
+        for k in 1..pod_size {
+            b.add_bidirectional(head(p), head(p) + k);
+        }
+        if pod_size >= 3 {
+            // Member ring (head included) for intra-pod redundancy.
+            for k in 0..pod_size {
+                b.add_bidirectional(head(p) + k, head(p) + (k + 1) % pod_size);
+            }
+        }
+    }
+    // Spine: ring over heads, then sparse random shortcuts.
+    if pods == 2 {
+        b.add_bidirectional(head(0), head(1));
+    } else if pods >= 3 {
+        for p in 0..pods {
+            b.add_bidirectional(head(p), head((p + 1) % pods));
+        }
+    }
+    if pods >= 2 {
+        for _ in 0..extra_spine {
+            let a = rng.gen_range(0..pods);
+            let mut c = rng.gen_range(0..pods);
+            if c == a {
+                c = (c + 1) % pods;
+            }
+            b.add_bidirectional(head(a), head(c));
+        }
+    }
+    b.build()
+}
+
 /// Layered DAG: `s`, then `layers` layers of `width` vertices, then `t`;
 /// returns `(graph, s, t)`.
 ///
@@ -353,6 +462,69 @@ mod tests {
         // Interior failures reroute at equal length; only the corners can
         // be pinch points depending on the extracted path.
         assert!(r.iter().any(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn grid_road_counts_connectivity_and_determinism() {
+        let (rows, cols, chords) = (5, 7, 6);
+        let (g, s, t) = grid_road(rows, cols, chords, 11);
+        assert_eq!(g.node_count(), rows * cols);
+        assert_eq!(
+            g.edge_count(),
+            2 * (rows * (cols - 1) + cols * (rows - 1)) + 2 * chords
+        );
+        assert!(undirected_diameter(&g).is_some(), "must be connected");
+        // Both directions exist: the shortest path backtracks if useful.
+        let p = shortest_st_path(&g, s, t).unwrap();
+        assert!(p.hops() <= (rows - 1) + (cols - 1));
+        let (h, _, _) = grid_road(rows, cols, chords, 11);
+        let arcs = |g: &DiGraph| g.edges().map(|(_, e)| (e.from, e.to)).collect::<Vec<_>>();
+        assert_eq!(arcs(&g), arcs(&h), "same seed, same graph");
+        let (k, _, _) = grid_road(rows, cols, chords, 12);
+        assert_ne!(arcs(&g), arcs(&k), "different seed, different chords");
+    }
+
+    #[test]
+    fn grid_road_replacements_all_finite() {
+        // Bidirectional streets: any single failed street has a detour.
+        let (g, s, t) = grid_road(4, 6, 0, 0);
+        let p = shortest_st_path(&g, s, t).unwrap();
+        let r = replacement_lengths(&g, &p);
+        assert!(r.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn octopus_pods_shape_and_redundancy() {
+        let (pods, pod_size, extra) = (6, 5, 3);
+        let g = octopus_pods(pods, pod_size, extra, 5);
+        assert_eq!(g.node_count(), pods * pod_size);
+        // Pairs: per pod (pod_size-1) spokes + pod_size ring; spine ring
+        // pods; extra shortcuts.
+        let pairs = pods * ((pod_size - 1) + pod_size) + pods + extra;
+        assert_eq!(g.edge_count(), 2 * pairs);
+        assert!(undirected_diameter(&g).is_some(), "must be connected");
+        // Heads dominate the degree profile.
+        let head_deg = g.undirected_degree(0);
+        let member_deg = g.undirected_degree(1);
+        assert!(head_deg > member_deg, "{head_deg} vs {member_deg}");
+        // Determinism.
+        let h = octopus_pods(pods, pod_size, extra, 5);
+        let arcs = |g: &DiGraph| g.edges().map(|(_, e)| (e.from, e.to)).collect::<Vec<_>>();
+        assert_eq!(arcs(&g), arcs(&h));
+    }
+
+    #[test]
+    fn octopus_pods_degenerate_sizes() {
+        // Single pod: just the star + ring.
+        let g = octopus_pods(1, 4, 7, 1);
+        assert!(undirected_diameter(&g).is_some());
+        // Pod size 1: the spine ring alone.
+        let g = octopus_pods(5, 1, 2, 1);
+        assert!(undirected_diameter(&g).is_some());
+        // Two pods: a single spine link, no ring double-edge.
+        let g = octopus_pods(2, 3, 0, 1);
+        assert_eq!(g.edge_count(), 2 * (2 * (2 + 3) + 1));
+        assert!(undirected_diameter(&g).is_some());
     }
 
     #[test]

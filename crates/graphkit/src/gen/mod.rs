@@ -27,13 +27,17 @@
 //! - [`metro_ring`]: a bidirectional cycle of points of presence — the
 //!   2-edge-connected carrier topology the fault-injection campaigns
 //!   degrade one span at a time.
+//! - [`grid_road`]: a bidirectional road grid with random diagonal
+//!   chords — realistic two-way street networks where detours backtrack.
+//! - [`octopus_pods`]: Octopus-style memory pods on a sparse inter-pod
+//!   spine — strongly degree-skewed clusters with long inter-pod detours.
 
 mod families;
 mod random;
 
 pub use families::{
-    grid, layered_dag, metro_ring, parallel_lane, power_law_digraph, star, theorem2_family,
-    two_hub, Theorem2Instance,
+    grid, grid_road, layered_dag, metro_ring, octopus_pods, parallel_lane, power_law_digraph, star,
+    theorem2_family, two_hub, Theorem2Instance,
 };
 pub use random::{
     planted_path_digraph, random_digraph, random_reachable_pair, random_weighted_digraph,

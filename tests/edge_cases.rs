@@ -4,7 +4,8 @@
 
 use graphkit::alg::replacement_lengths;
 use graphkit::{Dist, GraphBuilder, StPath};
-use rpaths_core::{unweighted, weighted, Instance, Params};
+use rpaths_core::oracle::oracle_query;
+use rpaths_core::{unweighted, weighted, Instance, Params, Query, SolverSession};
 
 fn full_params(n: usize, zeta: usize) -> Params {
     let mut p = Params::with_zeta(n, zeta);
@@ -208,6 +209,117 @@ fn runs_are_fully_deterministic() {
     assert_eq!(a.replacement, b.replacement);
     assert_eq!(a.metrics.total, b.metrics.total);
     assert_eq!(a.metrics.phases.len(), b.metrics.phases.len());
+}
+
+/// Answers `queries` through a fresh [`SolverSession`] and checks every
+/// answer against the centralized replacement oracle.
+fn assert_session_matches_oracle(g: &graphkit::DiGraph, queries: &[Query]) {
+    let mut session = SolverSession::new(g, full_params(g.node_count(), 4));
+    let answers = session.solve_batch(queries).expect("batch must solve");
+    for (q, a) in queries.iter().zip(&answers) {
+        let want = oracle_query(g, q);
+        assert_eq!(
+            a.scaled, want,
+            "session disagrees with oracle on {q:?}: got {:?}, want {want:?}",
+            a.scaled
+        );
+        assert_eq!(a.den, 1, "unweighted answers must be exact");
+    }
+}
+
+#[test]
+fn zero_length_path_survives_any_avoided_edge() {
+    // s = t: the shortest path has no edges, so no failure can touch it
+    // and every query answers 0. This is not representable as an
+    // `StPath` (paths need >= 1 edge), so both layers special-case it.
+    let mut b = GraphBuilder::new(3);
+    b.add_arc(0, 1);
+    b.add_arc(1, 2);
+    b.add_arc(2, 0);
+    let g = b.build();
+    assert!(graphkit::alg::shortest_st_path(&g, 1, 1).is_none());
+    assert_session_matches_oracle(
+        &g,
+        &[
+            Query::intact(1, 1),
+            Query::avoiding(1, 1, 0),
+            Query::avoiding(1, 1, 1),
+            // Mixed into a batch with ordinary queries.
+            Query::avoiding(0, 2, 1),
+        ],
+    );
+}
+
+#[test]
+fn off_path_avoided_edge_leaves_the_path_intact() {
+    // The failed edge is not on the chosen shortest path: the answer is
+    // |P| itself, served from the path without running a solver.
+    let mut b = GraphBuilder::new(4);
+    b.add_arc(0, 1); // e0, on P
+    b.add_arc(1, 3); // e1, on P
+    b.add_arc(0, 2); // e2, off P
+    b.add_arc(2, 3); // e3, off P
+    let g = b.build();
+    assert_session_matches_oracle(
+        &g,
+        &[
+            Query::avoiding(0, 3, 2),
+            Query::avoiding(0, 3, 3),
+            Query::intact(0, 3),
+            // Avoiding an edge of the *other* 2-hop route from a
+            // different source still must not disturb anything.
+            Query::avoiding(2, 3, 0),
+        ],
+    );
+}
+
+#[test]
+fn parallel_s_t_edges_cover_for_each_other() {
+    // Two parallel unit edges straight from s to t: whichever one the
+    // path uses, avoiding it leaves the twin, so every replacement is
+    // again length 1; avoiding the off-path twin changes nothing.
+    let mut b = GraphBuilder::new(2);
+    b.add_arc(0, 1); // e0
+    b.add_arc(0, 1); // e1, parallel twin
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 1).unwrap();
+    assert_eq!(inst.hops(), 1);
+    assert_exact(&g, &inst, 2);
+    assert_session_matches_oracle(
+        &g,
+        &[
+            Query::avoiding(0, 1, 0),
+            Query::avoiding(0, 1, 1),
+            Query::intact(0, 1),
+        ],
+    );
+}
+
+#[test]
+fn avoiding_a_bridge_disconnects_the_demand() {
+    // Shortest path 0 -> 2 -> 3; edge (2,3) is the only way into t, so
+    // avoiding it must answer ∞, while avoiding (0,2) reroutes over the
+    // longer 0 -> 1 -> 2 -> 3. Exercises the ∞ plumbing end to end:
+    // solver, session answers, and the oracle all agree.
+    let mut b = GraphBuilder::new(4);
+    b.add_arc(0, 1); // e0
+    b.add_arc(1, 2); // e1
+    b.add_arc(0, 2); // e2, on P
+    b.add_arc(2, 3); // e3, on P, bridge into t
+    let g = b.build();
+    let inst = Instance::from_endpoints(&g, 0, 3).unwrap();
+    assert_eq!(inst.path.nodes(), &[0, 2, 3]);
+    let oracle = replacement_lengths(&g, &inst.path);
+    assert_eq!(oracle, vec![Dist::new(3), Dist::INF]);
+    assert_exact(&g, &inst, 3);
+
+    let mut session = SolverSession::new(&g, full_params(4, 3));
+    let answers = session
+        .solve_batch(&[Query::avoiding(0, 3, 2), Query::avoiding(0, 3, 3)])
+        .unwrap();
+    assert_eq!(answers[0].exact(), Some(3));
+    assert!(!answers[1].is_finite(), "bridge removal must answer ∞");
+    assert_session_matches_oracle(&g, &[Query::avoiding(0, 3, 3)]);
 }
 
 #[test]

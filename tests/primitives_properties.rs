@@ -503,6 +503,110 @@ proptest! {
     }
 
     #[test]
+    fn grid_road_has_exact_counts_symmetric_arcs_and_bounded_degrees(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        chords in 0usize..20,
+        seed in 0u64..1000,
+    ) {
+        // The documented contract of `gen::grid_road`: rows·cols nodes,
+        // every street bidirectional (arcs come in reverse pairs, so the
+        // graph is strongly connected), exactly
+        // 2·(rows·(cols−1) + cols·(rows−1)) + 2·chords arcs, and street
+        // degree ≤ 4 with each incident chord adding at most one
+        // out-arc.
+        let (g, s, t) = graphkit::gen::grid_road(rows, cols, chords, seed);
+        let n = rows * cols;
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(s, 0);
+        prop_assert_eq!(t, n - 1);
+        prop_assert_eq!(
+            g.edge_count(),
+            2 * (rows * (cols - 1) + cols * (rows - 1)) + 2 * chords
+        );
+        let mut pairs = std::collections::HashMap::new();
+        for (_, e) in g.edges() {
+            *pairs.entry((e.from, e.to)).or_insert(0i64) += 1;
+        }
+        for (&(u, v), &c) in &pairs {
+            prop_assert_eq!(
+                c, pairs.get(&(v, u)).copied().unwrap_or(0),
+                "arc {}->{} lacks its reverse twin", u, v
+            );
+        }
+        let dist = bfs_hop_bounded(&g, &[s], n, |_| true);
+        for v in 0..n {
+            prop_assert!(dist[v].is_finite(), "node {} unreachable", v);
+            prop_assert!(
+                g.successors(v).count() <= 4 + chords,
+                "node {} exceeds the street + chord degree bound", v
+            );
+        }
+    }
+
+    #[test]
+    fn octopus_pods_has_exact_counts_head_skew_and_pod_redundancy(
+        pods in 1usize..10,
+        pod_size in 1usize..12,
+        extra in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        // The documented contract of `gen::octopus_pods`: pods·pod_size
+        // nodes; per pod 2·(pod_size−1) spoke arcs plus a 2·pod_size
+        // member ring when pod_size ≥ 3; a head ring spine plus
+        // 2·extra_spine shortcuts; strongly connected; heads dominate
+        // member degrees; and a crashed head leaves its pod connected.
+        // A 1×1 octopus is rejected by the generator; test from 2 nodes.
+        let pod_size = if pods * pod_size < 2 { 2 } else { pod_size };
+        let g = graphkit::gen::octopus_pods(pods, pod_size, extra, seed);
+        let n = pods * pod_size;
+        prop_assert_eq!(g.node_count(), n);
+        let mut m =
+            pods * (2 * (pod_size - 1) + if pod_size >= 3 { 2 * pod_size } else { 0 });
+        m += match pods {
+            0 | 1 => 0,
+            2 => 2,
+            _ => 2 * pods,
+        };
+        if pods >= 2 {
+            m += 2 * extra;
+        }
+        prop_assert_eq!(g.edge_count(), m);
+        let dist = bfs_hop_bounded(&g, &[0], n, |_| true);
+        for v in 0..n {
+            prop_assert!(dist[v].is_finite(), "node {} unreachable", v);
+        }
+        // Degree skew: members touch only their spoke and ring; heads
+        // carry the whole pod plus the spine.
+        for p in 0..pods {
+            let head = p * pod_size;
+            prop_assert!(g.successors(head).count() >= pod_size - 1);
+            for k in 1..pod_size {
+                prop_assert!(
+                    g.successors(head + k).count() <= 3,
+                    "member {} of pod {} exceeds spoke + ring degree", k, p
+                );
+            }
+        }
+        // Head-crash redundancy: with a member ring, dropping pod 0's
+        // head must leave its members mutually reachable.
+        if pod_size >= 3 {
+            let head = 0;
+            let avoid_head = |e: usize| {
+                let edge = g.edge(e);
+                edge.from != head && edge.to != head
+            };
+            let d = bfs_hop_bounded(&g, &[1], n, avoid_head);
+            for k in 1..pod_size {
+                prop_assert!(
+                    d[k].is_finite(),
+                    "member {} stranded after head crash", k
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bfs_tree_depths_are_undirected_distances(
         n in 2usize..60,
         seed in 0u64..500,
